@@ -1,0 +1,97 @@
+// Command pogo-bench regenerates the paper's evaluation (§5): every table
+// and figure, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	pogo-bench -run all
+//	pogo-bench -run table3
+//	pogo-bench -run table4 -days 24 -freeze
+//
+// Experiments run in simulated time; a full 24-day Table 4 takes a few
+// minutes of wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pogo/internal/experiments"
+	"pogo/internal/radio"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all")
+		days   = flag.Int("days", 24, "table4: experiment length in days")
+		seed   = flag.Int64("seed", 1, "table4: world seed")
+		freeze = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
+	)
+	flag.Parse()
+	if err := runExperiments(*run, *days, *seed, *freeze); err != nil {
+		fmt.Fprintln(os.Stderr, "pogo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, days int, seed int64, freeze bool) error {
+	want := func(name string) bool { return which == "all" || which == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if want("figure3") {
+		ran = true
+		fmt.Println(experiments.Figure3(radio.KPN).Render())
+	}
+	if want("figure4") {
+		ran = true
+		fmt.Println(experiments.Figure4(16 * time.Minute).Render())
+	}
+	if want("table3") {
+		ran = true
+		start := time.Now()
+		fmt.Println(experiments.RenderTable3(experiments.Table3()))
+		fmt.Printf("(simulated 6 device-hours in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want("table4") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.Table4(experiments.Table4Config{
+			Seed: seed, Days: days, FreezeThaw: freeze,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable4(res))
+		fmt.Printf("(simulated %d days x 9 sessions in %v)\n\n", days, time.Since(start).Round(time.Second))
+	}
+	if want("ablations") {
+		ran = true
+		fmt.Println(experiments.RenderFlushPolicies(experiments.AblationFlushPolicies()))
+		fmt.Println(experiments.RenderDetectorPolling(experiments.AblationDetectorPolling()))
+		fmt.Println(experiments.RenderSensorGating(experiments.AblationSensorGating()))
+		ftDays := 6
+		if days < ftDays {
+			ftDays = days
+		}
+		rows, err := experiments.AblationFreezeThaw(ftDays)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFreezeThaw(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want %s)", which,
+			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all"}, "|"))
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command pogo-server runs the central XMPP switchboard (the role Openfire
+// plays in the paper, §4.6). It only routes messages and manages rosters;
+// all Pogo semantics live in the device and collector nodes.
+//
+// Usage:
+//
+//	pogo-server -addr :5222 -associate researcher=dev1,dev2 -auto-register
+//
+// The -associate flag is the administrator's act of assigning devices to
+// researchers (§3.1); it may be repeated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"pogo/internal/xmpp"
+)
+
+type associations []string
+
+func (a *associations) String() string { return strings.Join(*a, ";") }
+
+func (a *associations) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5222", "TCP listen address")
+		autoReg = flag.Bool("auto-register", true, "create accounts on first login (the paper's zero-registration model)")
+		assoc   associations
+	)
+	flag.Var(&assoc, "associate", "researcher=dev1,dev2 (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *autoReg, assoc); err != nil {
+		fmt.Fprintln(os.Stderr, "pogo-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, autoReg bool, assoc associations) error {
+	srv := xmpp.NewServer(xmpp.ServerConfig{Addr: addr, AllowAutoRegister: autoReg})
+	for _, a := range assoc {
+		parts := strings.SplitN(a, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -associate %q, want researcher=dev1,dev2", a)
+		}
+		researcher := strings.TrimSpace(parts[0])
+		for _, dev := range strings.Split(parts[1], ",") {
+			if dev = strings.TrimSpace(dev); dev != "" {
+				srv.Associate(researcher, dev)
+			}
+		}
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("pogo-server: switchboard listening on %s (auto-register=%v)\n", srv.Addr(), autoReg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pogo-server: shutting down")
+	return nil
+}

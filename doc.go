@@ -1,0 +1,22 @@
+// Package pogo is a from-scratch reproduction of "Pogo, a Middleware for
+// Mobile Phone Sensing" (Brouwers & Langendoen, MIDDLEWARE 2012).
+//
+// Pogo turns a pool of volunteer smartphones into a shared research
+// testbed: researchers push small JavaScript experiments onto remote
+// devices, where a topic-based publish/subscribe framework connects sensors
+// to scripts and — transparently across an XMPP switchboard — scripts to
+// the researcher's collector machine. The middleware buffers outbound data
+// durably and transmits it inside other applications' 3G tail-energy
+// windows, reducing its own energy overhead to a few percent.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable binaries under cmd/, and worked examples under
+// examples/. The benchmarks in this package regenerate every table and
+// figure of the paper's evaluation; run them with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the full evaluation with:
+//
+//	go run ./cmd/pogo-bench -run all
+package pogo

@@ -1,0 +1,129 @@
+// Live-xmpp: the same testbed as the quickstart, but over the real network
+// stack — an in-process XMPP server on a TCP loopback socket, with the
+// collector and the phone connecting as genuine XMPP clients. Everything
+// runs on the real clock for a few seconds.
+//
+//	go run ./examples/live-xmpp
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/core"
+	"pogo/internal/energy"
+	"pogo/internal/radio"
+	"pogo/internal/script/scripts"
+	"pogo/internal/sensors"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+	"pogo/internal/xmpp"
+)
+
+// startServer boots the switchboard and associates the pair.
+func startServer() *xmpp.Server {
+	srv := xmpp.NewServer(xmpp.ServerConfig{AllowAutoRegister: true})
+	srv.Associate("researcher", "phone-1")
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	return srv
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "live-xmpp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The switchboard: a real XMPP-subset server on a TCP port.
+	srv := startServer()
+	defer srv.Close()
+	fmt.Println("switchboard listening on", srv.Addr())
+
+	clk := vclock.Real{}
+
+	// Researcher side.
+	colM, err := transport.DialXMPP(srv.Addr(), "researcher", "pw", "pc")
+	if err != nil {
+		return err
+	}
+	defer colM.Close()
+	collector, err := core.NewNode(core.Config{
+		ID: "researcher", Mode: core.CollectorMode, Clock: clk, Messenger: colM,
+		FlushPolicy: core.FlushImmediate,
+	})
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+
+	// Volunteer side: real XMPP client, simulated phone hardware.
+	devM, err := transport.DialXMPP(srv.Addr(), "phone-1", "pw", "phone")
+	if err != nil {
+		return err
+	}
+	defer devM.Close()
+	meter := energy.NewMeter(clk)
+	droid := android.NewDevice(clk, meter, android.Config{})
+	modem := radio.NewModem(clk, meter, fastCarrier())
+	phone, err := core.NewNode(core.Config{
+		ID: "phone-1", Mode: core.DeviceMode, Clock: clk, Messenger: devM,
+		Device: droid, Modem: modem, Storage: store.NewMemKV(),
+		FlushPolicy: core.FlushImmediate,
+	})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+	phone.Sensors().Register(sensors.NewBatterySensor(phone.Sensors(), droid))
+
+	// Deploy a fast-sampling variant of the battery experiment so a few
+	// seconds of wall clock produce several reports.
+	fast := `setDescription('fast battery reporter');
+subscribe('battery', function (m) {
+  publish('battery-report', { voltage: m.voltage, level: m.level, t: m.timestamp });
+}, { interval: 1000 });`
+	if err := collector.DeployLocal("battery-collect.js", scripts.MustSource("battery-collect.js")); err != nil {
+		return err
+	}
+	if err := collector.Deploy("battery-fast.js", fast); err != nil {
+		return err
+	}
+
+	fmt.Println("running for 5 seconds of real time...")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	lines := collector.Logs().Lines("battery")
+	fmt.Printf("collector received %d battery reports over real TCP/XMPP:\n", len(lines))
+	for i, l := range lines {
+		if i >= 5 {
+			fmt.Printf("   ... and %d more\n", len(lines)-i)
+			break
+		}
+		fmt.Println("  ", l)
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("no reports arrived")
+	}
+	return nil
+}
+
+// fastCarrier shrinks the radio timings so the demo is snappy in real time.
+func fastCarrier() radio.CarrierProfile {
+	c := radio.KPN
+	c.RampUp = 50 * time.Millisecond
+	c.Promote = 20 * time.Millisecond
+	c.DCHTailTime = 200 * time.Millisecond
+	c.FACHTailTime = 500 * time.Millisecond
+	c.MinTxTime = 5 * time.Millisecond
+	return c
+}

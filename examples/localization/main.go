@@ -1,0 +1,122 @@
+// Localization: the paper's flagship application (§4.1) end to end on a
+// synthetic world — Wi-Fi scans are sanitized on the phone (scan.js),
+// clustered into places with sliding-window DBSCAN (clustering.js), and the
+// collector geocodes the cluster characterizations into annotated places
+// (collect.js + the geolocation service).
+//
+//	go run ./examples/localization [-days 2] [-users 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/core"
+	"pogo/internal/energy"
+	"pogo/internal/env"
+	"pogo/internal/geo"
+	"pogo/internal/radio"
+	"pogo/internal/script/scripts"
+	"pogo/internal/sensors"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+func main() {
+	days := flag.Int("days", 2, "simulated days")
+	users := flag.Int("users", 2, "number of volunteers")
+	flag.Parse()
+	if err := run(*days, *users); err != nil {
+		fmt.Fprintln(os.Stderr, "localization:", err)
+		os.Exit(1)
+	}
+}
+
+func run(days, users int) error {
+	clk := vclock.NewSim()
+	sb := transport.NewSwitchboard(clk)
+	world := env.NewWorld(7)
+
+	collector, err := core.NewNode(core.Config{
+		ID: "researcher", Mode: core.CollectorMode,
+		Clock: clk, Messenger: sb.Port("researcher", nil),
+	})
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+
+	// Spin up the volunteers first so their homes exist before the survey.
+	var phones []*core.Node
+	for i := 1; i <= users; i++ {
+		id := fmt.Sprintf("phone-%d", i)
+		sb.Associate("researcher", id)
+		schedule := world.GenerateSchedule(id, env.ScheduleConfig{
+			Start: clk.Now(), Days: days, Seed: int64(100 + i),
+		})
+		view := env.NewDeviceView(clk, schedule, int64(200+i))
+
+		meter := energy.NewMeter(clk)
+		droid := android.NewDevice(clk, meter, android.Config{})
+		modem := radio.NewModem(clk, meter, radio.KPN)
+		conn := radio.NewConnectivity(modem, nil)
+		phone, err := core.NewNode(core.Config{
+			ID: id, Mode: core.DeviceMode,
+			Clock: clk, Messenger: sb.Port(id, conn),
+			Device: droid, Modem: modem, Storage: store.NewMemKV(),
+			FlushPolicy: core.FlushInterval, FlushEvery: 5 * time.Minute,
+		})
+		if err != nil {
+			return err
+		}
+		defer phone.Close()
+		phone.Sensors().Register(sensors.NewWifiScanSensor(phone.Sensors(), view, sensors.WifiScanConfig{Meter: meter}))
+		phones = append(phones, phone)
+	}
+
+	// The geolocation service knows every surveyed AP in the world.
+	db := geo.NewDB()
+	world.SurveyInto(db)
+	svc := geo.NewService(db, collector.LocalContext().Broker())
+	defer svc.Close()
+
+	// Deploy the three-stage pipeline.
+	if err := collector.DeployLocal("collect.js", scripts.MustSource("collect.js")); err != nil {
+		return err
+	}
+	if err := collector.Deploy("scan.js", scripts.MustSource("scan.js")); err != nil {
+		return err
+	}
+	if err := collector.Deploy("clustering.js", scripts.MustSource("clustering.js")); err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating %d volunteers for %d days...\n", users, days)
+	for d := 0; d < days; d++ {
+		clk.Advance(24 * time.Hour)
+	}
+	for _, p := range phones {
+		p.Flush()
+	}
+	clk.Advance(10 * time.Minute)
+
+	places := collector.Logs().Lines("places")
+	fmt.Printf("\nannotated places in the collector database (%d records):\n", len(places))
+	for i, l := range places {
+		if i >= 12 {
+			fmt.Printf("  ... and %d more\n", len(places)-i)
+			break
+		}
+		fmt.Println("  ", l)
+	}
+	for _, p := range phones {
+		st := p.Endpoint().Stats()
+		fmt.Printf("%s: %d cluster messages sent (%d bytes on the wire)\n",
+			p.ID(), st.MessagesSent, st.BytesSent)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// Tailenergy: the §4.7 mechanism made visible. Renders the Figure 3 tail
+// trace of a single 3G transmission, the Figure 4 synchronization timeline,
+// and the flush-policy comparison showing what tail synchronization buys.
+//
+//	go run ./examples/tailenergy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pogo/internal/experiments"
+	"pogo/internal/radio"
+)
+
+func main() {
+	fmt.Println(experiments.Figure3(radio.KPN).Render())
+	fmt.Println(experiments.Figure4(16 * time.Minute).Render())
+	fmt.Println(experiments.RenderFlushPolicies(experiments.AblationFlushPolicies()))
+	fmt.Println(experiments.RenderDetectorPolling(experiments.AblationDetectorPolling()))
+}

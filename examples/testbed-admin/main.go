@@ -1,0 +1,134 @@
+// Testbed-admin: the paper's §6 future-work features working together —
+// automated device↔researcher assignment by capability and region, the
+// owner's per-channel privacy switch, and per-script power accounting.
+//
+//	go run ./examples/testbed-admin
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/assign"
+	"pogo/internal/core"
+	"pogo/internal/energy"
+	"pogo/internal/radio"
+	"pogo/internal/script/scripts"
+	"pogo/internal/sensors"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed-admin:", err)
+		os.Exit(1)
+	}
+}
+
+type phone struct {
+	node    *core.Node
+	privacy *core.Privacy
+	meter   *energy.Meter
+}
+
+func run() error {
+	clk := vclock.NewSim()
+	sb := transport.NewSwitchboard(clk)
+	broker := assign.NewBroker()
+
+	// Five volunteers install Pogo; their devices advertise capabilities.
+	phones := map[string]*phone{}
+	infos := []assign.DeviceInfo{
+		{ID: "p1", Sensors: []string{"battery", "wifi-scan"}, Region: "nl-delft", BatteryLevel: 0.9},
+		{ID: "p2", Sensors: []string{"battery"}, Region: "nl-delft", BatteryLevel: 0.7},
+		{ID: "p3", Sensors: []string{"battery", "wifi-scan", "location"}, Region: "nl-delft", BatteryLevel: 0.95},
+		{ID: "p4", Sensors: []string{"battery", "wifi-scan"}, Region: "us-boston", BatteryLevel: 0.8},
+		{ID: "p5", Sensors: []string{"battery"}, Region: "nl-delft", BatteryLevel: 0.1}, // nearly empty
+	}
+	for _, info := range infos {
+		p, err := newPhone(clk, sb, info.ID)
+		if err != nil {
+			return err
+		}
+		phones[info.ID] = p
+		broker.Register(info)
+	}
+
+	// A researcher asks the (automated) administrator for two Delft devices
+	// with battery sensors.
+	col, err := core.NewNode(core.Config{
+		ID: "researcher", Mode: core.CollectorMode,
+		Clock: clk, Messenger: sb.Port("researcher", nil),
+	})
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+
+	granted, err := broker.Assign(assign.Request{
+		Researcher: "researcher",
+		Sensors:    []string{"battery"},
+		Region:     "nl-delft",
+		Count:      2,
+	}, sb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assignment broker granted: %v (p4 wrong region, p5 battery too low)\n", granted)
+
+	// Deploy the battery experiment to the granted devices.
+	col.DeployLocal("battery-collect.js", scripts.MustSource("battery-collect.js"))
+	col.Deploy("battery.js", scripts.MustSource("battery.js"))
+	clk.Advance(5 * time.Minute)
+	fmt.Printf("after 5 min: %d reports collected\n", len(col.Logs().Lines("battery")))
+
+	// One volunteer flips the battery channel off in the Pogo UI.
+	revoker := granted[0]
+	fmt.Printf("\n%s's owner hides the battery channel...\n", revoker)
+	phones[revoker].privacy.SetShared(sensors.ChannelBattery, false)
+	before := countFrom(col.Logs().Lines("battery"), revoker)
+	clk.Advance(5 * time.Minute)
+	after := countFrom(col.Logs().Lines("battery"), revoker)
+	fmt.Printf("reports from %s: %d before, +%d after hiding (others keep flowing)\n",
+		revoker, before, after-before)
+
+	// Per-script power accounting on a granted device that still shares.
+	fmt.Println("\nper-script resource accounting (researcher's view of", granted[1], "):")
+	for _, u := range phones[granted[1]].node.ScriptUsages(core.DefaultPowerModel()) {
+		fmt.Printf("  %-12s entries=%-4d publishes=%-4d steps=%-8d ≈%.2f J\n",
+			u.Name, u.Entries, u.Publishes, u.Steps, u.EstimatedJoules)
+	}
+	return nil
+}
+
+func newPhone(clk *vclock.Sim, sb *transport.Switchboard, id string) (*phone, error) {
+	meter := energy.NewMeter(clk)
+	droid := android.NewDevice(clk, meter, android.Config{})
+	modem := radio.NewModem(clk, meter, radio.KPN)
+	conn := radio.NewConnectivity(modem, nil)
+	privacy := core.NewPrivacy()
+	node, err := core.NewNode(core.Config{
+		ID: id, Mode: core.DeviceMode, Clock: clk, Messenger: sb.Port(id, conn),
+		Device: droid, Modem: modem, Storage: store.NewMemKV(),
+		FlushPolicy: core.FlushImmediate, Privacy: privacy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	node.Sensors().Register(sensors.NewBatterySensor(node.Sensors(), droid))
+	return &phone{node: node, privacy: privacy, meter: meter}, nil
+}
+
+func countFrom(lines []string, device string) int {
+	n := 0
+	for _, l := range lines {
+		if len(l) >= len(device) && l[:len(device)] == device {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module pogo
+
+go 1.22

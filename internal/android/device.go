@@ -1,0 +1,341 @@
+// Package android simulates the aspects of the Android platform that Pogo's
+// power management depends on (§4.5 and §4.7 of the paper):
+//
+//   - a CPU that deep-sleeps when no application holds a wake lock, waking
+//     only for alarms (and lingering awake for a short period after each
+//     wake-worthy event, "typically more than a second");
+//   - wake locks;
+//   - RTC wake-up alarms (AlarmManager);
+//   - uptime timers with Thread.sleep semantics: while the CPU sleeps the
+//     timers that govern sleeping threads are frozen, so a sleeping thread
+//     only resumes after something *else* wakes the CPU. Pogo's tail
+//     detector is built entirely on this side effect.
+//
+// A Device also owns the battery model used by the battery sensor.
+package android
+
+import (
+	"sync"
+	"time"
+
+	"pogo/internal/energy"
+	"pogo/internal/vclock"
+)
+
+// Config sets device parameters; zero fields take defaults.
+type Config struct {
+	// BasePower is the always-on floor draw in watts (baseband standby,
+	// RAM refresh). Default 0.010 W.
+	BasePower float64
+	// CPUAwakePower is the additional draw while the CPU is awake (screen
+	// off, mostly idle-awake). Default 0.150 W.
+	CPUAwakePower float64
+	// Linger is how long the CPU stays awake after the last wake-worthy
+	// event once no wake locks are held. Default 1200 ms.
+	Linger time.Duration
+	// BatteryCapacityJoules sets the battery model's capacity. Default
+	// 23328 J (≈1750 mAh at 3.7 V, a Galaxy Nexus battery).
+	BatteryCapacityJoules float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BasePower == 0 {
+		c.BasePower = 0.010
+	}
+	if c.CPUAwakePower == 0 {
+		c.CPUAwakePower = 0.150
+	}
+	if c.Linger == 0 {
+		c.Linger = 1200 * time.Millisecond
+	}
+	if c.BatteryCapacityJoules == 0 {
+		c.BatteryCapacityJoules = 23328
+	}
+	return c
+}
+
+// Device is a simulated Android phone's power core. The zero value is not
+// usable; construct with NewDevice. All methods are goroutine-safe.
+type Device struct {
+	clk   vclock.Clock
+	meter *energy.Meter
+	cfg   Config
+
+	mu           sync.Mutex
+	awake        bool
+	awakeSince   time.Time
+	awakeAccum   time.Duration
+	wakeLocks    map[string]int
+	lastPoke     time.Time
+	sleepTimer   vclock.Timer
+	uptimeTimers map[int]*uptimeTimer
+	nextTimerID  int
+	listeners    []func(awake bool, at time.Time)
+	pendingState []cpuChange
+}
+
+// NewDevice returns an awake device (as after boot) that immediately starts
+// its linger countdown. meter may be nil.
+func NewDevice(clk vclock.Clock, meter *energy.Meter, cfg Config) *Device {
+	d := &Device{
+		clk:          clk,
+		meter:        meter,
+		cfg:          cfg.withDefaults(),
+		wakeLocks:    make(map[string]int),
+		uptimeTimers: make(map[int]*uptimeTimer),
+	}
+	if meter != nil {
+		meter.Set("base", d.cfg.BasePower)
+	}
+	d.mu.Lock()
+	d.wakeLocked()
+	d.pokeLocked()
+	d.unlockAndNotify()
+	return d
+}
+
+// Awake reports whether the CPU is currently awake.
+func (d *Device) Awake() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.awake
+}
+
+// Uptime returns cumulative CPU-awake time since construction — the analogue
+// of SystemClock.uptimeMillis(), which excludes deep sleep.
+func (d *Device) Uptime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.uptimeLocked()
+}
+
+func (d *Device) uptimeLocked() time.Duration {
+	up := d.awakeAccum
+	if d.awake {
+		up += d.clk.Now().Sub(d.awakeSince)
+	}
+	return up
+}
+
+// OnCPUStateChange registers a listener for awake/sleep transitions, called
+// with the device unlocked.
+func (d *Device) OnCPUStateChange(fn func(awake bool, at time.Time)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listeners = append(d.listeners, fn)
+}
+
+// AcquireWakeLock takes (or re-enters) the named wake lock, waking the CPU.
+func (d *Device) AcquireWakeLock(name string) {
+	d.mu.Lock()
+	d.wakeLocks[name]++
+	d.wakeLocked()
+	d.pokeLocked()
+	d.unlockAndNotify()
+}
+
+// ReleaseWakeLock releases one hold on the named lock. When the last lock is
+// released the linger countdown starts.
+func (d *Device) ReleaseWakeLock(name string) {
+	d.mu.Lock()
+	if n := d.wakeLocks[name]; n > 1 {
+		d.wakeLocks[name] = n - 1
+	} else {
+		delete(d.wakeLocks, name)
+	}
+	d.pokeLocked()
+	d.unlockAndNotify()
+}
+
+// WakeLocksHeld returns the number of distinct wake locks currently held.
+func (d *Device) WakeLocksHeld() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.wakeLocks)
+}
+
+// SetAlarm schedules fn after d elapsed *real* time, waking the CPU for its
+// delivery — the analogue of AlarmManager.RTC_WAKEUP. The alarm itself pokes
+// the CPU awake for a linger period even if fn returns immediately; this is
+// the per-wakeup overhead that makes 1 s alarm polling prohibitive (§4.7).
+func (d *Device) SetAlarm(delay time.Duration, fn func()) vclock.Timer {
+	return d.clk.AfterFunc(delay, func() {
+		d.mu.Lock()
+		d.wakeLocked()
+		d.pokeLocked()
+		d.unlockAndNotify()
+		fn()
+	})
+}
+
+// UptimeTimer is a handle on an UptimeAfterFunc callback.
+type UptimeTimer struct {
+	dev *Device
+	id  int
+}
+
+// Stop cancels the callback, reporting whether it was prevented.
+func (t *UptimeTimer) Stop() bool {
+	t.dev.mu.Lock()
+	defer t.dev.mu.Unlock()
+	ut, ok := t.dev.uptimeTimers[t.id]
+	if !ok {
+		return false
+	}
+	if ut.underlying != nil {
+		ut.underlying.Stop()
+	}
+	delete(t.dev.uptimeTimers, t.id)
+	return true
+}
+
+type uptimeTimer struct {
+	id         int
+	remaining  time.Duration
+	armedAt    time.Time // valid while underlying != nil
+	underlying vclock.Timer
+	fn         func()
+}
+
+// UptimeAfterFunc schedules fn after the CPU has accumulated d more awake
+// time — Thread.sleep semantics. While the CPU sleeps the countdown is
+// frozen; the callback therefore only ever fires while the CPU is awake,
+// and firing does NOT extend the CPU's awake window (a sleeping thread
+// holds no wake lock).
+func (d *Device) UptimeAfterFunc(delay time.Duration, fn func()) *UptimeTimer {
+	if delay < 0 {
+		delay = 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextTimerID
+	d.nextTimerID++
+	ut := &uptimeTimer{id: id, remaining: delay, fn: fn}
+	d.uptimeTimers[id] = ut
+	if d.awake {
+		d.armLocked(ut)
+	}
+	return &UptimeTimer{dev: d, id: id}
+}
+
+// armLocked starts ut's underlying clock timer. Caller holds mu and the
+// device is awake.
+func (d *Device) armLocked(ut *uptimeTimer) {
+	ut.armedAt = d.clk.Now()
+	id := ut.id
+	ut.underlying = d.clk.AfterFunc(ut.remaining, func() {
+		d.mu.Lock()
+		cur, ok := d.uptimeTimers[id]
+		if !ok || cur != ut {
+			d.mu.Unlock()
+			return
+		}
+		delete(d.uptimeTimers, id)
+		d.mu.Unlock()
+		ut.fn()
+	})
+}
+
+// pokeLocked records a wake-worthy event and (re)schedules the sleep check.
+func (d *Device) pokeLocked() {
+	now := d.clk.Now()
+	d.lastPoke = now
+	if d.sleepTimer != nil {
+		d.sleepTimer.Stop()
+	}
+	d.sleepTimer = d.clk.AfterFunc(d.cfg.Linger, d.sleepCheck)
+}
+
+// sleepCheck puts the CPU to sleep when no wake locks are held and the
+// linger window has elapsed.
+func (d *Device) sleepCheck() {
+	d.mu.Lock()
+	now := d.clk.Now()
+	if !d.awake || len(d.wakeLocks) > 0 || now.Sub(d.lastPoke) < d.cfg.Linger {
+		d.mu.Unlock()
+		return
+	}
+	d.awakeAccum += now.Sub(d.awakeSince)
+	d.awake = false
+	if d.meter != nil {
+		d.meter.Set("cpu", 0)
+	}
+	// Freeze uptime timers: bank the awake time they have consumed.
+	for _, ut := range d.uptimeTimers {
+		if ut.underlying != nil {
+			ut.underlying.Stop()
+			ut.underlying = nil
+			elapsed := now.Sub(ut.armedAt)
+			ut.remaining -= elapsed
+			if ut.remaining < 0 {
+				ut.remaining = 0
+			}
+		}
+	}
+	d.pendingState = append(d.pendingState, cpuChange{awake: false, at: now})
+	d.unlockAndNotify()
+}
+
+// wakeLocked brings the CPU out of deep sleep. Caller holds mu.
+func (d *Device) wakeLocked() {
+	if d.awake {
+		return
+	}
+	now := d.clk.Now()
+	d.awake = true
+	d.awakeSince = now
+	if d.meter != nil {
+		d.meter.Set("cpu", d.cfg.CPUAwakePower)
+	}
+	// Thaw uptime timers.
+	for _, ut := range d.uptimeTimers {
+		if ut.underlying == nil {
+			d.armLocked(ut)
+		}
+	}
+	d.pendingState = append(d.pendingState, cpuChange{awake: true, at: now})
+}
+
+type cpuChange struct {
+	awake bool
+	at    time.Time
+}
+
+func (d *Device) unlockAndNotify() {
+	pending := d.pendingState
+	d.pendingState = nil
+	listeners := make([]func(bool, time.Time), len(d.listeners))
+	copy(listeners, d.listeners)
+	d.mu.Unlock()
+	for _, ch := range pending {
+		for _, fn := range listeners {
+			fn(ch.awake, ch.at)
+		}
+	}
+}
+
+// BatteryVoltage derives a battery voltage from cumulative energy use — a
+// simple linear discharge from 4.20 V (full) to 3.50 V (empty). With no
+// meter attached it reports a constant 4.05 V.
+func (d *Device) BatteryVoltage() float64 {
+	if d.meter == nil {
+		return 4.05
+	}
+	frac := d.meter.Energy() / d.cfg.BatteryCapacityJoules
+	if frac > 1 {
+		frac = 1
+	}
+	return 4.20 - 0.70*frac
+}
+
+// BatteryLevel reports remaining charge in [0,1] under the same model.
+func (d *Device) BatteryLevel() float64 {
+	if d.meter == nil {
+		return 1
+	}
+	frac := 1 - d.meter.Energy()/d.cfg.BatteryCapacityJoules
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}

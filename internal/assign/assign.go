@@ -1,0 +1,222 @@
+// Package assign implements the automated device↔researcher matching of the
+// paper's future work (§6: "automate the assignment process between devices
+// and researchers based on information such as device capabilities and
+// geographical location").
+//
+// Devices advertise their capabilities (sensor set, region, battery level);
+// researchers submit requests (required sensors, region, device count). The
+// broker — the testbed administrator's role automated (§3.1) — picks the
+// matching devices with the lightest experiment load and creates the
+// double-blind associations at the switchboard.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceInfo is one device's advertisement.
+type DeviceInfo struct {
+	ID string
+	// Sensors lists the channels the device can provide (and its owner is
+	// willing to share, §3.3).
+	Sensors []string
+	// Region is a coarse location label ("nl-delft"); "" means undisclosed.
+	Region string
+	// BatteryLevel in [0,1]; low-battery devices are assigned last.
+	BatteryLevel float64
+	// MaxExperiments caps concurrent assignments (0 = default 4).
+	MaxExperiments int
+}
+
+// Request is a researcher's resource ask.
+type Request struct {
+	Researcher string
+	// Sensors the experiment needs; every listed channel must be available.
+	Sensors []string
+	// Region restricts candidates; "" accepts any region.
+	Region string
+	// Count is the number of devices wanted.
+	Count int
+	// MinBattery filters out nearly-empty devices (default 0.15).
+	MinBattery float64
+}
+
+// Associator creates roster links; both the XMPP server and the in-memory
+// switchboard implement it.
+type Associator interface {
+	Associate(a, b string)
+}
+
+// ErrUnsatisfiable reports that fewer devices matched than requested.
+var ErrUnsatisfiable = errors.New("assign: not enough matching devices")
+
+// Broker matches requests to devices. The zero value is not usable;
+// construct with NewBroker.
+type Broker struct {
+	mu      sync.Mutex
+	devices map[string]DeviceInfo
+	load    map[string]int
+	granted map[string]map[string]bool // researcher → device set
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		devices: make(map[string]DeviceInfo),
+		load:    make(map[string]int),
+		granted: make(map[string]map[string]bool),
+	}
+}
+
+// Register adds or refreshes a device advertisement (devices re-advertise
+// when capabilities or sharing settings change).
+func (b *Broker) Register(info DeviceInfo) error {
+	if info.ID == "" {
+		return errors.New("assign: device needs an ID")
+	}
+	if info.MaxExperiments == 0 {
+		info.MaxExperiments = 4
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.devices[info.ID] = info
+	return nil
+}
+
+// Unregister removes a device (uninstalled, or the owner opted out).
+func (b *Broker) Unregister(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.devices, id)
+}
+
+// Devices returns the registered device IDs, sorted.
+func (b *Broker) Devices() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.devices))
+	for id := range b.devices {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load returns how many experiments a device currently serves.
+func (b *Broker) Load(id string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.load[id]
+}
+
+// Assign satisfies a request: it selects Count matching devices —
+// preferring lightly-loaded, well-charged ones — records the grants, and
+// creates the associations. On ErrUnsatisfiable nothing is assigned.
+func (b *Broker) Assign(req Request, a Associator) ([]string, error) {
+	if req.Researcher == "" {
+		return nil, errors.New("assign: request needs a researcher")
+	}
+	if req.Count <= 0 {
+		return nil, errors.New("assign: request needs a positive count")
+	}
+	minBattery := req.MinBattery
+	if minBattery == 0 {
+		minBattery = 0.15
+	}
+
+	b.mu.Lock()
+	var candidates []DeviceInfo
+	for _, d := range b.devices {
+		if b.granted[req.Researcher][d.ID] {
+			continue // already assigned to this researcher
+		}
+		if b.load[d.ID] >= d.MaxExperiments {
+			continue
+		}
+		if d.BatteryLevel < minBattery {
+			continue
+		}
+		if req.Region != "" && d.Region != req.Region {
+			continue
+		}
+		if !hasAll(d.Sensors, req.Sensors) {
+			continue
+		}
+		candidates = append(candidates, d)
+	}
+	if len(candidates) < req.Count {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d of %d for %s",
+			ErrUnsatisfiable, len(candidates), req.Count, req.Researcher)
+	}
+	// Lightest load first, then highest battery, then ID for determinism.
+	sort.Slice(candidates, func(i, j int) bool {
+		li, lj := b.load[candidates[i].ID], b.load[candidates[j].ID]
+		if li != lj {
+			return li < lj
+		}
+		if candidates[i].BatteryLevel != candidates[j].BatteryLevel {
+			return candidates[i].BatteryLevel > candidates[j].BatteryLevel
+		}
+		return candidates[i].ID < candidates[j].ID
+	})
+	picked := make([]string, 0, req.Count)
+	for _, d := range candidates[:req.Count] {
+		picked = append(picked, d.ID)
+		b.load[d.ID]++
+		if b.granted[req.Researcher] == nil {
+			b.granted[req.Researcher] = make(map[string]bool)
+		}
+		b.granted[req.Researcher][d.ID] = true
+	}
+	b.mu.Unlock()
+
+	for _, id := range picked {
+		a.Associate(req.Researcher, id)
+	}
+	sort.Strings(picked)
+	return picked, nil
+}
+
+// Release returns a researcher's devices to the pool (experiment over).
+// It does not dissociate at the switchboard; callers owning a server can.
+func (b *Broker) Release(researcher string, deviceIDs ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, id := range deviceIDs {
+		if b.granted[researcher][id] {
+			delete(b.granted[researcher], id)
+			if b.load[id] > 0 {
+				b.load[id]--
+			}
+		}
+	}
+}
+
+// Granted lists the devices currently assigned to a researcher, sorted.
+func (b *Broker) Granted(researcher string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.granted[researcher]))
+	for id := range b.granted[researcher] {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasAll(have, want []string) bool {
+	set := make(map[string]bool, len(have))
+	for _, h := range have {
+		set[h] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package assign
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+type fakeAssociator struct {
+	mu    sync.Mutex
+	pairs [][2]string
+}
+
+func (f *fakeAssociator) Associate(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pairs = append(f.pairs, [2]string{a, b})
+}
+
+func dev(id string, sensors ...string) DeviceInfo {
+	return DeviceInfo{ID: id, Sensors: sensors, Region: "nl-delft", BatteryLevel: 0.9}
+}
+
+func TestAssignBySensorCapability(t *testing.T) {
+	b := NewBroker()
+	b.Register(dev("d1", "battery", "wifi-scan"))
+	b.Register(dev("d2", "battery"))
+	b.Register(dev("d3", "battery", "wifi-scan", "location"))
+
+	a := &fakeAssociator{}
+	got, err := b.Assign(Request{Researcher: "r1", Sensors: []string{"wifi-scan"}, Count: 2}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Errorf("got %v", got)
+	}
+	if len(a.pairs) != 2 {
+		t.Errorf("associations = %v", a.pairs)
+	}
+	if !reflect.DeepEqual(b.Granted("r1"), []string{"d1", "d3"}) {
+		t.Errorf("Granted = %v", b.Granted("r1"))
+	}
+}
+
+func TestAssignByRegion(t *testing.T) {
+	b := NewBroker()
+	d := dev("d1", "battery")
+	d.Region = "us-west"
+	b.Register(d)
+	b.Register(dev("d2", "battery"))
+
+	a := &fakeAssociator{}
+	got, err := b.Assign(Request{Researcher: "r1", Region: "nl-delft", Count: 1}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "d2" {
+		t.Errorf("got %v", got)
+	}
+	// "" region matches everything.
+	got, err = b.Assign(Request{Researcher: "r2", Count: 2}, a)
+	if err != nil || len(got) != 2 {
+		t.Errorf("any-region assign = %v, %v", got, err)
+	}
+}
+
+func TestAssignPrefersLightLoadAndCharge(t *testing.T) {
+	b := NewBroker()
+	low := dev("low-battery", "battery")
+	low.BatteryLevel = 0.3
+	b.Register(low)
+	b.Register(dev("fresh", "battery"))
+	b.Register(dev("busy", "battery"))
+
+	a := &fakeAssociator{}
+	// Load up "busy" with three experiments.
+	for _, r := range []string{"x1", "x2", "x3"} {
+		if _, err := b.Assign(Request{Researcher: r, Count: 3}, a); err != nil {
+			t.Fatal(err)
+		}
+		b.Release(r, "fresh", "low-battery")
+	}
+	if b.Load("busy") != 3 {
+		t.Fatalf("setup: busy load = %d", b.Load("busy"))
+	}
+	got, err := b.Assign(Request{Researcher: "r9", Count: 1}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "fresh" {
+		t.Errorf("picked %v, want the least-loaded, best-charged device", got)
+	}
+}
+
+func TestAssignBatteryFloor(t *testing.T) {
+	b := NewBroker()
+	drained := dev("drained", "battery")
+	drained.BatteryLevel = 0.05
+	b.Register(drained)
+	a := &fakeAssociator{}
+	if _, err := b.Assign(Request{Researcher: "r", Count: 1}, a); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("err = %v, want unsatisfiable (battery floor)", err)
+	}
+	if _, err := b.Assign(Request{Researcher: "r", Count: 1, MinBattery: 0.01}, a); err != nil {
+		t.Errorf("explicit floor rejected: %v", err)
+	}
+}
+
+func TestAssignUnsatisfiableLeavesNoState(t *testing.T) {
+	b := NewBroker()
+	b.Register(dev("d1", "battery"))
+	a := &fakeAssociator{}
+	_, err := b.Assign(Request{Researcher: "r", Count: 2}, a)
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(a.pairs) != 0 {
+		t.Error("partial associations created")
+	}
+	if b.Load("d1") != 0 {
+		t.Error("load leaked")
+	}
+}
+
+func TestAssignNoDoubleGrant(t *testing.T) {
+	b := NewBroker()
+	b.Register(dev("d1", "battery"))
+	a := &fakeAssociator{}
+	if _, err := b.Assign(Request{Researcher: "r", Count: 1}, a); err != nil {
+		t.Fatal(err)
+	}
+	// The same researcher asking again must not get the same device.
+	if _, err := b.Assign(Request{Researcher: "r", Count: 1}, a); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("double grant: %v", err)
+	}
+	// A different researcher can share the device (many-to-many, §3.1).
+	if got, err := b.Assign(Request{Researcher: "r2", Count: 1}, a); err != nil || got[0] != "d1" {
+		t.Errorf("sharing failed: %v %v", got, err)
+	}
+	if b.Load("d1") != 2 {
+		t.Errorf("load = %d", b.Load("d1"))
+	}
+}
+
+func TestMaxExperimentsCap(t *testing.T) {
+	b := NewBroker()
+	d := dev("d1", "battery")
+	d.MaxExperiments = 1
+	b.Register(d)
+	a := &fakeAssociator{}
+	if _, err := b.Assign(Request{Researcher: "r1", Count: 1}, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(Request{Researcher: "r2", Count: 1}, a); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("cap not enforced: %v", err)
+	}
+	b.Release("r1", "d1")
+	if _, err := b.Assign(Request{Researcher: "r2", Count: 1}, a); err != nil {
+		t.Errorf("release did not free capacity: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.Register(DeviceInfo{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	a := &fakeAssociator{}
+	if _, err := b.Assign(Request{Count: 1}, a); err == nil {
+		t.Error("empty researcher accepted")
+	}
+	if _, err := b.Assign(Request{Researcher: "r"}, a); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	b := NewBroker()
+	b.Register(dev("d1", "battery"))
+	b.Unregister("d1")
+	if len(b.Devices()) != 0 {
+		t.Errorf("Devices = %v", b.Devices())
+	}
+	a := &fakeAssociator{}
+	if _, err := b.Assign(Request{Researcher: "r", Count: 1}, a); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("assigned an unregistered device: %v", err)
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	b := NewBroker()
+	b.Release("nobody", "nothing") // must not panic
+	if b.Load("nothing") != 0 {
+		t.Error("phantom load")
+	}
+}

@@ -1,0 +1,52 @@
+package assign_test
+
+import (
+	"testing"
+
+	"pogo/internal/assign"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+	"pogo/internal/xmpp"
+)
+
+// Both switchboard implementations must be usable as Associators.
+var (
+	_ assign.Associator = (*xmpp.Server)(nil)
+	_ assign.Associator = (*transport.Switchboard)(nil)
+)
+
+func TestAssignDrivesSwitchboardRoster(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := transport.NewSwitchboard(clk)
+	broker := assign.NewBroker()
+	broker.Register(assign.DeviceInfo{ID: "dev1", Sensors: []string{"battery"}, BatteryLevel: 0.9})
+	broker.Register(assign.DeviceInfo{ID: "dev2", Sensors: []string{"battery", "wifi-scan"}, BatteryLevel: 0.8})
+
+	got, err := broker.Assign(assign.Request{
+		Researcher: "r1", Sensors: []string{"wifi-scan"}, Count: 1,
+	}, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "dev2" {
+		t.Fatalf("assigned %v", got)
+	}
+	// The association is live at the switchboard: r1 can reach dev2.
+	port := sb.Port("r1", nil)
+	if peers := port.Peers(); len(peers) != 1 || peers[0] != "dev2" {
+		t.Errorf("roster = %v", peers)
+	}
+}
+
+func TestAssignDrivesXMPPRoster(t *testing.T) {
+	srv := xmpp.NewServer(xmpp.ServerConfig{AllowAutoRegister: true})
+	broker := assign.NewBroker()
+	broker.Register(assign.DeviceInfo{ID: "devA", Sensors: []string{"location"}, Region: "nl", BatteryLevel: 1})
+
+	if _, err := broker.Assign(assign.Request{Researcher: "prof", Sensors: []string{"location"}, Region: "nl", Count: 1}, srv); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Roster("prof"); len(got) != 1 || got[0] != "devA" {
+		t.Errorf("server roster = %v", got)
+	}
+}

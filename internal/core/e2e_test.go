@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/energy"
+	"pogo/internal/radio"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+	"pogo/internal/xmpp"
+)
+
+// TestCoreOverRealXMPP exercises the full production path: core nodes on the
+// real clock, talking through genuine TCP/XMPP sockets.
+func TestCoreOverRealXMPP(t *testing.T) {
+	srv := xmpp.NewServer(xmpp.ServerConfig{AllowAutoRegister: true})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Associate("researcher", "phone")
+
+	clk := vclock.Real{}
+
+	colM, err := transport.DialXMPP(srv.Addr(), "researcher", "pw", "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer colM.Close()
+	col, err := NewNode(Config{
+		ID: "researcher", Mode: CollectorMode, Clock: clk, Messenger: colM,
+		FlushPolicy: FlushImmediate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	devM, err := transport.DialXMPP(srv.Addr(), "phone", "pw", "ph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devM.Close()
+	meter := energy.NewMeter(clk)
+	droid := android.NewDevice(clk, meter, android.Config{})
+	fast := radio.KPN
+	fast.RampUp, fast.DCHTailTime, fast.FACHTailTime, fast.MinTxTime =
+		10*time.Millisecond, 50*time.Millisecond, 100*time.Millisecond, time.Millisecond
+	modem := radio.NewModem(clk, meter, fast)
+	dev, err := NewNode(Config{
+		ID: "phone", Mode: DeviceMode, Clock: clk, Messenger: devM,
+		Device: droid, Modem: modem, Storage: store.NewMemKV(),
+		FlushPolicy: FlushImmediate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	var mu sync.Mutex
+	var lines []string
+	col.Logs().OnAppend = func(log, line string) {
+		if log == "pings" {
+			mu.Lock()
+			lines = append(lines, line)
+			mu.Unlock()
+		}
+	}
+	if err := col.DeployLocal("sink.js", `
+		setDescription('sink');
+		subscribe('ping', function (m, origin) { logTo('pings', origin + ':' + m.n); });
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Deploy("pinger.js", `
+		setDescription('pinger');
+		var n = 0;
+		function tick() { n++; publish('ping', { n: n }); setTimeout(tick, 50); }
+		setTimeout(tick, 50);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) < 5 {
+		t.Fatalf("only %d pings arrived over real XMPP: %v", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "phone:") {
+		t.Errorf("origin missing: %q", lines[0])
+	}
+}
+
+func TestAutoStartOffRequiresManualStart(t *testing.T) {
+	r := newRig(t, "dev1")
+	d := r.dev["dev1"]
+	r.col.Deploy("manual.js", `
+		setAutoStart(false);
+		setDescription('waits for the user');
+		function start() { print('running'); }
+	`)
+	r.clk.Advance(10 * time.Second)
+	ctx := d.node.Contexts()["collector"]
+	if ctx == nil || ctx.Script("manual.js") == nil {
+		t.Fatal("script not deployed")
+	}
+	if got := len(d.node.Logs().Prints()); got != 0 {
+		t.Fatalf("script ran without user consent: %d prints", got)
+	}
+
+	// The user taps "start" in the UI.
+	if err := ctx.StartScript("manual.js"); err != nil {
+		t.Fatal(err)
+	}
+	prints := d.node.Logs().Prints()
+	if len(prints) != 1 || prints[0].Text != "running" {
+		t.Errorf("prints = %+v", prints)
+	}
+	if err := ctx.StartScript("missing.js"); err == nil {
+		t.Error("starting an unknown script succeeded")
+	}
+}

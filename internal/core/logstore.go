@@ -1,0 +1,75 @@
+package core
+
+import "sync"
+
+// LogStore is the node's permanent text storage behind the scripts' log()
+// and logTo() functions — and, on a collector, the "database" that
+// collect.js pushes annotated places into.
+type LogStore struct {
+	mu     sync.Mutex
+	logs   map[string][]string
+	prints []PrintLine
+	// OnAppend (may be set before scripts run) observes every logged line.
+	OnAppend func(logName, line string)
+}
+
+// PrintLine is one script debug print.
+type PrintLine struct {
+	Script string
+	Text   string
+}
+
+// NewLogStore returns empty storage.
+func NewLogStore() *LogStore {
+	return &LogStore{logs: make(map[string][]string)}
+}
+
+// Append adds a line to the named log.
+func (l *LogStore) Append(logName, line string) {
+	l.mu.Lock()
+	l.logs[logName] = append(l.logs[logName], line)
+	fn := l.OnAppend
+	l.mu.Unlock()
+	if fn != nil {
+		fn(logName, line)
+	}
+}
+
+// Lines returns a copy of the named log.
+func (l *LogStore) Lines(logName string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.logs[logName]))
+	copy(out, l.logs[logName])
+	return out
+}
+
+// Names lists the logs that have content.
+func (l *LogStore) Names() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.logs))
+	for name := range l.logs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Print records a script debug print (bounded to the most recent 1000).
+func (l *LogStore) Print(script, text string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prints = append(l.prints, PrintLine{Script: script, Text: text})
+	if len(l.prints) > 1000 {
+		l.prints = l.prints[len(l.prints)-1000:]
+	}
+}
+
+// Prints returns a copy of the recent print lines.
+func (l *LogStore) Prints() []PrintLine {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PrintLine, len(l.prints))
+	copy(out, l.prints)
+	return out
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pogo/internal/store"
+)
+
+// multiRig: one device shared by two researchers (the many-to-many relation
+// of §3.1).
+func multiRig(t *testing.T) (*rig, *Node, *Node, *simDevice) {
+	t.Helper()
+	r := newRig(t) // collector "collector" unused here
+	colA, err := NewNode(Config{
+		ID: "alice", Mode: CollectorMode, Clock: r.clk, Messenger: r.sb.Port("alice", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(colA.Close)
+	colB, err := NewNode(Config{
+		ID: "bob", Mode: CollectorMode, Clock: r.clk, Messenger: r.sb.Port("bob", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(colB.Close)
+	r.sb.Associate("alice", "dev1")
+	r.sb.Associate("bob", "dev1")
+	d := r.addDevice("dev1", FlushImmediate, store.NewMemKV(), "")
+	return r, colA, colB, d
+}
+
+func TestExperimentsAreSandboxed(t *testing.T) {
+	r, colA, colB, d := multiRig(t)
+
+	// Both experiments use a channel named "shared" inside their contexts.
+	colA.DeployLocal("a-sink.js", `subscribe('shared', function(m, o) { logTo('got', o + ':' + m.who); });`)
+	colB.DeployLocal("b-sink.js", `subscribe('shared', function(m, o) { logTo('got', o + ':' + m.who); });`)
+	colA.Deploy("a-pub.js", `setTimeout(function() { publish('shared', { who: 'alice-script' }); }, 1000);`)
+	colB.Deploy("b-pub.js", `setTimeout(function() { publish('shared', { who: 'bob-script' }); }, 1000);`)
+	r.clk.Advance(time.Minute)
+
+	// The device runs two contexts, one per researcher.
+	ctxs := d.node.Contexts()
+	if len(ctxs) != 2 || ctxs["alice"] == nil || ctxs["bob"] == nil {
+		t.Fatalf("contexts = %v", ctxs)
+	}
+	gotA := colA.Logs().Lines("got")
+	gotB := colB.Logs().Lines("got")
+	if len(gotA) != 1 || !strings.Contains(gotA[0], "alice-script") {
+		t.Errorf("alice got %v", gotA)
+	}
+	if len(gotB) != 1 || !strings.Contains(gotB[0], "bob-script") {
+		t.Errorf("bob got %v", gotB)
+	}
+	// Cross-talk check: alice must never see bob's message.
+	for _, l := range gotA {
+		if strings.Contains(l, "bob") {
+			t.Errorf("sandbox breach: %q", l)
+		}
+	}
+}
+
+func TestSensorSharedAcrossExperiments(t *testing.T) {
+	// §3.5: two experiments requesting the same sensor at different rates
+	// share one schedule at the highest frequency; both receive every
+	// sample their subscription asks for.
+	r, colA, colB, d := multiRig(t)
+
+	colA.DeployLocal("a.js", `subscribe('battery-report', function(m, o) { logTo('batt', o); });`)
+	colB.DeployLocal("b.js", `subscribe('battery-report', function(m, o) { logTo('batt', o); });`)
+	colA.Deploy("slow.js", `
+		subscribe('battery', function(m) { publish('battery-report', { v: m.voltage }); },
+			{ interval: 120 * 1000 });
+	`)
+	colB.Deploy("fast.js", `
+		subscribe('battery', function(m) { publish('battery-report', { v: m.voltage }); },
+			{ interval: 30 * 1000 });
+	`)
+	r.clk.Advance(10*time.Minute + 10*time.Second)
+
+	// One underlying sensor at 30 s: ~20 samples. Both experiments' scripts
+	// receive every sample (topic pub/sub within each context's broker is
+	// driven by the shared sensor manager).
+	fast := len(colB.Logs().Lines("batt"))
+	slow := len(colA.Logs().Lines("batt"))
+	if fast < 19 || fast > 21 {
+		t.Errorf("fast experiment got %d samples, want ~20", fast)
+	}
+	if slow != fast {
+		t.Errorf("slow experiment got %d, fast %d — sensor fan-out broken", slow, fast)
+	}
+	// Energy sanity: one shared schedule, not two.
+	_ = d
+}
+
+func TestUndeployOneExperimentLeavesOther(t *testing.T) {
+	r, colA, colB, d := multiRig(t)
+	colA.DeployLocal("a.js", `subscribe('battery-report', function() { logTo('batt', 'x'); });`)
+	colB.DeployLocal("b.js", `subscribe('battery-report', function() { logTo('batt', 'x'); });`)
+	src := `subscribe('battery', function(m) { publish('battery-report', { v: m.voltage }); }, { interval: 60 * 1000 });`
+	colA.Deploy("rep.js", src)
+	colB.Deploy("rep.js", src)
+	r.clk.Advance(3 * time.Minute)
+
+	nA := len(colA.Logs().Lines("batt"))
+	if nA == 0 {
+		t.Fatal("no data flowing")
+	}
+	colA.Undeploy("rep.js")
+	r.clk.Advance(5 * time.Minute)
+
+	if got := len(d.node.Contexts()["alice"].ScriptNames()); got != 0 {
+		t.Errorf("alice context still has %d scripts", got)
+	}
+	nB1 := len(colB.Logs().Lines("batt"))
+	r.clk.Advance(3 * time.Minute)
+	nB2 := len(colB.Logs().Lines("batt"))
+	if nB2 <= nB1 {
+		t.Errorf("bob's experiment stalled after alice undeployed: %d → %d", nB1, nB2)
+	}
+}
+
+func TestDeviceCannotReachOtherDevice(t *testing.T) {
+	// §4.2: "device nodes can never communicate with each other directly";
+	// even a malicious script publishing on a channel another device's
+	// experiment uses must go nowhere.
+	r := newRig(t, "dev1", "dev2")
+	r.col.DeployLocal("sink.js", `subscribe('chat', function(m, o) { logTo('chat', o + ':' + m.text); });`)
+	r.col.Deploy("gossip.js", `
+		subscribe('chat', function(m, o) { if (o !== '') logTo('leak', o); });
+		setTimeout(function() { publish('chat', { text: 'hi' }); }, 1000);
+	`)
+	r.clk.Advance(time.Minute)
+
+	// The collector hears both devices...
+	got := r.col.Logs().Lines("chat")
+	if len(got) != 2 {
+		t.Fatalf("collector chat = %v", got)
+	}
+	// ...but neither device ever saw the other's publication.
+	for id, d := range r.dev {
+		if leaks := d.node.Logs().Lines("leak"); len(leaks) != 0 {
+			t.Errorf("%s saw another device's data: %v", id, leaks)
+		}
+	}
+}
+
+func TestCollectorPublishReachesDevices(t *testing.T) {
+	// The reverse path: a collector script publishing configuration that
+	// device scripts subscribe to.
+	r := newRig(t, "dev1", "dev2")
+	r.col.Deploy("cfg-listener.js", `
+		subscribe('config', function(m) { logTo('cfg', json(m)); });
+	`)
+	r.clk.Advance(10 * time.Second)
+	r.col.DeployLocal("announce.js", `publish('config', { rate: 5 });`)
+	r.clk.Advance(30 * time.Second)
+
+	for id, d := range r.dev {
+		got := d.node.Logs().Lines("cfg")
+		if len(got) != 1 || !strings.Contains(got[0], `"rate":5`) {
+			t.Errorf("%s cfg = %v", id, got)
+		}
+	}
+}
+
+func TestOriginVisibleToCollectorScripts(t *testing.T) {
+	r := newRig(t, "dev1", "dev2")
+	// The collector script's second handler argument is the origin device —
+	// how collect.js distinguishes its users (§4.1). A raw broker
+	// subscription would NOT propagate to devices; only script
+	// subscriptions are announced.
+	r.col.DeployLocal("origins.js", `
+		subscribe('battery-report', function(m, origin) { logTo('origins', origin); });
+	`)
+	r.col.Deploy("rep.js", `
+		subscribe('battery', function(m) { publish('battery-report', { v: m.voltage }); },
+			{ interval: 60 * 1000 });
+	`)
+	r.clk.Advance(90 * time.Second)
+	origins := r.col.Logs().Lines("origins")
+	if len(origins) != 2 {
+		t.Fatalf("origins = %v", origins)
+	}
+	seen := map[string]bool{}
+	for _, o := range origins {
+		seen[o] = true
+	}
+	if !seen["dev1"] || !seen["dev2"] {
+		t.Errorf("origins = %v", origins)
+	}
+}

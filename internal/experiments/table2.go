@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pogo/internal/script/scripts"
+)
+
+// Table2Row is one script's complexity entry.
+type Table2Row struct {
+	App  string
+	File string
+	SLOC int
+	Size int // bytes
+}
+
+// Table2 counts source lines of code and byte sizes of the bundled Pogo
+// applications, as §5.1 does for the localization example and RogueFinder.
+func Table2() ([]Table2Row, error) {
+	apps := []struct {
+		app   string
+		files []string
+	}{
+		{"Localization example", []string{"scan.js", "clustering.js", "collect.js"}},
+		{"RogueFinder", []string{"roguefinder.js", "roguefinder-collect.js"}},
+	}
+	var rows []Table2Row
+	for _, a := range apps {
+		for _, f := range a.files {
+			src, err := scripts.Source(f)
+			if err != nil {
+				return nil, err
+			}
+			size, err := scripts.Size(f)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{App: a.app, File: f, SLOC: scripts.SLOC(src), Size: size})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the rows with per-application totals, mirroring the
+// paper's layout.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: code complexity for Pogo applications\n")
+	fmt.Fprintf(&sb, "%-22s %-24s %6s %8s\n", "Application", "File", "SLOC", "Size")
+	app := ""
+	sloc, size := 0, 0
+	flush := func() {
+		if app != "" {
+			fmt.Fprintf(&sb, "%-22s %-24s %6d %8d\n", "", "total", sloc, size)
+		}
+		sloc, size = 0, 0
+	}
+	for _, r := range rows {
+		if r.App != app {
+			flush()
+			app = r.App
+			fmt.Fprintf(&sb, "%-22s %-24s %6d %8d\n", r.App, r.File, r.SLOC, r.Size)
+		} else {
+			fmt.Fprintf(&sb, "%-22s %-24s %6d %8d\n", "", r.File, r.SLOC, r.Size)
+		}
+		sloc += r.SLOC
+		size += r.Size
+	}
+	flush()
+	return sb.String()
+}

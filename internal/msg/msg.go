@@ -1,0 +1,372 @@
+// Package msg defines the message representation exchanged through Pogo's
+// publish/subscribe framework.
+//
+// Messages are trees of key/value pairs (§4.3 of the paper) that map directly
+// onto PogoScript objects so they can cross the Java↔JavaScript boundary —
+// here the Go↔PogoScript boundary — without translation glue. Messages are
+// serialized to JSON when delivered to a remote node.
+//
+// The value domain is deliberately small: nil, bool, float64, string,
+// []Value, and Map. Integers are represented as float64, matching
+// JavaScript's single number type.
+package msg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is any value that may appear in a message tree: nil, bool, float64,
+// string, []Value, or Map.
+type Value = any
+
+// Map is a message object node: string keys to Values.
+type Map = map[string]Value
+
+// ErrUnsupportedValue reports a Go value outside the message value domain.
+var ErrUnsupportedValue = errors.New("msg: unsupported value type")
+
+// Normalize converts an arbitrary Go value into the canonical message value
+// domain. It accepts all Go integer and float types (converted to float64),
+// strings, bools, nil, slices, and maps with string keys. It returns
+// ErrUnsupportedValue for anything else (channels, funcs, structs, ...).
+func Normalize(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case bool, float64, string:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int8:
+		return float64(x), nil
+	case int16:
+		return float64(x), nil
+	case int32:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case uint:
+		return float64(x), nil
+	case uint8:
+		return float64(x), nil
+	case uint16:
+		return float64(x), nil
+	case uint32:
+		return float64(x), nil
+	case uint64:
+		return float64(x), nil
+	case []Value:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			n, err := Normalize(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case Map:
+		out := make(Map, len(x))
+		for k, e := range x {
+			n, err := Normalize(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedValue, v)
+	}
+}
+
+// MustNormalize is Normalize for statically well-formed literals; it panics
+// on unsupported values and is intended for tests and package literals.
+func MustNormalize(v any) Value {
+	n, err := Normalize(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Clone deep-copies a message value. Maps and slices are copied; scalars are
+// returned as-is. Cloning at ownership boundaries keeps subscribers from
+// mutating each other's view of a published message.
+func Clone(v Value) Value {
+	switch x := v.(type) {
+	case []Value:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = Clone(e)
+		}
+		return out
+	case Map:
+		out := make(Map, len(x))
+		for k, e := range x {
+			out[k] = Clone(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// Equal reports deep equality of two message values. NaN compares equal to
+// NaN so that round-tripped messages containing NaN still match.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return false
+		}
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		return x == y
+	case []Value:
+		y, ok := b.([]Value)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case Map:
+		y, ok := b.(Map)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			w, present := y[k]
+			if !present || !Equal(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// EncodeJSON serializes a message value to JSON with deterministic key order
+// (keys sorted lexicographically). Deterministic output keeps byte-count
+// accounting in the experiments reproducible.
+func EncodeJSON(v Value) ([]byte, error) {
+	var sb strings.Builder
+	if err := encodeJSON(&sb, v); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+func encodeJSON(sb *strings.Builder, v Value) error {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("null")
+	case bool:
+		sb.WriteString(strconv.FormatBool(x))
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// JSON has no NaN/Inf; JavaScript's JSON.stringify emits null.
+			sb.WriteString("null")
+			return nil
+		}
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			sb.WriteString(strconv.FormatInt(int64(x), 10))
+			return nil
+		}
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		appendJSONString(sb, x)
+	case []Value:
+		sb.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if err := encodeJSON(sb, e); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte(']')
+	case Map:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			appendJSONString(sb, k)
+			sb.WriteByte(':')
+			if err := encodeJSON(sb, x[k]); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte('}')
+	default:
+		return fmt.Errorf("%w: %T", ErrUnsupportedValue, v)
+	}
+	return nil
+}
+
+// appendJSONString writes a JSON-quoted string. The common case — no
+// characters needing escapes — is a single pass; escaping falls back to the
+// slow path. Output matches encoding/json for the characters we emit.
+func appendJSONString(sb *strings.Builder, s string) {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		sb.WriteByte('"')
+		sb.WriteString(s)
+		sb.WriteByte('"')
+		return
+	}
+	b, _ := json.Marshal(s)
+	sb.Write(b)
+}
+
+// DecodeJSON parses JSON into a message value. Objects decode to Map, arrays
+// to []Value, numbers to float64 — exactly the message value domain.
+func DecodeJSON(data []byte) (Value, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	raw, err := decodeToken(dec)
+	if err != nil {
+		return nil, fmt.Errorf("msg: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("msg: decode: trailing data")
+	}
+	return raw, nil
+}
+
+func decodeToken(dec *json.Decoder) (Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			out := Map{}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("object key is %T, want string", keyTok)
+				}
+				val, err := decodeToken(dec)
+				if err != nil {
+					return nil, err
+				}
+				out[key] = val
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return out, nil
+		case '[':
+			var out []Value
+			for dec.More() {
+				val, err := decodeToken(dec)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			if out == nil {
+				out = []Value{}
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("unexpected delimiter %q", t)
+		}
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	case string, bool, nil:
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %T", tok)
+	}
+}
+
+// Get walks a dotted path ("wifi.rssi") through nested Maps and returns the
+// value at the leaf, or (nil, false) when any step is missing.
+func Get(m Map, path string) (Value, bool) {
+	cur := Value(m)
+	for _, part := range strings.Split(path, ".") {
+		obj, ok := cur.(Map)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = obj[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// GetString returns the string at a dotted path, or "" when absent or not a
+// string.
+func GetString(m Map, path string) string {
+	v, ok := Get(m, path)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// GetNumber returns the float64 at a dotted path and whether it was present
+// and numeric.
+func GetNumber(m Map, path string) (float64, bool) {
+	v, ok := Get(m, path)
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}

@@ -1,0 +1,41 @@
+package pubsub
+
+import (
+	"testing"
+
+	"pogo/internal/msg"
+)
+
+func BenchmarkPublishOneSubscriber(b *testing.B) {
+	br := New()
+	br.Subscribe("ch", nil, func(Event) {})
+	payload := msg.Map{"voltage": 4.1, "level": 0.9, "timestamp": 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish("ch", payload)
+	}
+}
+
+func BenchmarkPublishFanOut16(b *testing.B) {
+	br := New()
+	for i := 0; i < 16; i++ {
+		br.Subscribe("ch", nil, func(Event) {})
+	}
+	payload := msg.Map{"n": 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish("ch", payload)
+	}
+}
+
+func BenchmarkSubscribeRelease(b *testing.B) {
+	br := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := br.Subscribe("ch", nil, func(Event) {})
+		sub.Close()
+	}
+}

@@ -1,0 +1,296 @@
+// Package pubsub implements Pogo's topic-based publish/subscribe framework
+// (§4.3 of the paper).
+//
+// Components — sensors, scripts, and (via proxy subscriptions created by the
+// core) remote nodes — publish messages on named channels and subscribe to
+// channels with optional parameter objects. Two features beyond a plain
+// broker carry the paper's design:
+//
+//   - Subscriptions can be released and renewed (the RogueFinder pattern in
+//     Listing 2), and carry a parameter object (e.g. {interval: 60000}).
+//   - Publishers can observe the set of active subscriptions on their
+//     channels, so a sensor can power itself down when nobody is listening
+//     and pick the cheapest schedule that satisfies all listeners (§3.5).
+//
+// Delivery is synchronous on the publisher's goroutine, which keeps the
+// discrete-event simulation deterministic; the scheduler layer (internal/
+// sched) introduces asynchrony where the paper requires it.
+package pubsub
+
+import (
+	"sync"
+
+	"pogo/internal/msg"
+)
+
+// Event is a delivered publication.
+type Event struct {
+	// Channel the message was published on.
+	Channel string
+	// Message payload. Each subscriber receives its own deep copy.
+	Message msg.Map
+	// Params of the subscription the event is being delivered to.
+	Params msg.Map
+	// Origin identifies the remote node the message came from, or "" for a
+	// local publication. The core fills this in for messages that crossed
+	// the network boundary so collector scripts can distinguish devices.
+	Origin string
+}
+
+// Handler consumes events for one subscription.
+type Handler func(Event)
+
+// SubscriptionInfo is a read-only view of an active subscription, as exposed
+// to publishers (sensors) deciding whether and how fast to sample.
+type SubscriptionInfo struct {
+	Channel string
+	Params  msg.Map
+}
+
+// Broker is a goroutine-safe topic-based message broker. The zero value is
+// not usable; construct with New.
+type Broker struct {
+	mu       sync.Mutex
+	subs     map[string][]*Subscription // channel → subscriptions (active and inactive)
+	watchers map[int]*watcher
+	nextID   int
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{
+		subs:     make(map[string][]*Subscription),
+		watchers: make(map[int]*watcher),
+	}
+}
+
+type watcher struct {
+	channel string // "" watches every channel
+	fn      func(channel string)
+}
+
+// Subscribe registers a handler on a channel. params may be nil. The returned
+// subscription is active until released. A nil handler subscription is valid
+// and acts as a pure demand signal (used by proxy bookkeeping in tests).
+func (b *Broker) Subscribe(channel string, params msg.Map, h Handler) *Subscription {
+	sub := &Subscription{
+		broker:  b,
+		channel: channel,
+		params:  msg.Clone(params).(msg.Map),
+		handler: h,
+		active:  true,
+	}
+	if params == nil {
+		sub.params = nil
+	}
+	b.mu.Lock()
+	b.subs[channel] = append(b.subs[channel], sub)
+	b.mu.Unlock()
+	b.notifyChange(channel)
+	return sub
+}
+
+// Publish delivers a message to every active subscription on the channel.
+// Each subscriber receives a deep copy of the message. Publish returns the
+// number of subscriptions the message was delivered to.
+func (b *Broker) Publish(channel string, m msg.Map) int {
+	return b.PublishFrom(channel, m, "")
+}
+
+// PublishFrom is Publish with an origin annotation; the core uses it for
+// messages arriving from remote nodes.
+func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
+	b.mu.Lock()
+	subs := make([]*Subscription, 0, len(b.subs[channel]))
+	for _, s := range b.subs[channel] {
+		if s.active {
+			subs = append(subs, s)
+		}
+	}
+	b.mu.Unlock()
+
+	delivered := 0
+	for _, s := range subs {
+		if s.handler == nil {
+			continue
+		}
+		clone, _ := msg.Clone(m).(msg.Map)
+		s.handler(Event{
+			Channel: channel,
+			Message: clone,
+			Params:  s.Params(),
+			Origin:  origin,
+		})
+		delivered++
+	}
+	return delivered
+}
+
+// Subscriptions returns the active subscriptions on a channel. The slice and
+// the param maps are copies.
+func (b *Broker) Subscriptions(channel string) []SubscriptionInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []SubscriptionInfo
+	for _, s := range b.subs[channel] {
+		if s.active {
+			out = append(out, SubscriptionInfo{Channel: channel, Params: s.Params()})
+		}
+	}
+	return out
+}
+
+// HasSubscribers reports whether any active subscription exists on a channel.
+// Sensors use this to gate sampling (§4.3: "If not, the sensor can be turned
+// off to save energy").
+func (b *Broker) HasSubscribers(channel string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs[channel] {
+		if s.active {
+			return true
+		}
+	}
+	return false
+}
+
+// Channels returns every channel that currently has at least one active
+// subscription.
+func (b *Broker) Channels() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for ch, subs := range b.subs {
+		for _, s := range subs {
+			if s.active {
+				out = append(out, ch)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OnSubscriptionChange registers fn to be called (synchronously) whenever the
+// set of active subscriptions on channel changes — subscribe, release, renew,
+// or param change via re-subscribe. An empty channel watches all channels.
+// The returned cancel function removes the watcher.
+func (b *Broker) OnSubscriptionChange(channel string, fn func(channel string)) (cancel func()) {
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.watchers[id] = &watcher{channel: channel, fn: fn}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.watchers, id)
+		b.mu.Unlock()
+	}
+}
+
+func (b *Broker) notifyChange(channel string) {
+	b.mu.Lock()
+	fns := make([]func(string), 0, len(b.watchers))
+	for _, w := range b.watchers {
+		if w.channel == "" || w.channel == channel {
+			fns = append(fns, w.fn)
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(channel)
+	}
+}
+
+// removeSub drops a subscription from the broker entirely (on Close).
+func (b *Broker) removeSub(sub *Subscription) {
+	b.mu.Lock()
+	list := b.subs[sub.channel]
+	for i, s := range list {
+		if s == sub {
+			b.subs[sub.channel] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(b.subs[sub.channel]) == 0 {
+		delete(b.subs, sub.channel)
+	}
+	b.mu.Unlock()
+}
+
+// Subscription is a handle on a channel subscription. Release deactivates it
+// and Renew reactivates it; both are idempotent (§4.4: "these methods have no
+// effect when the subscription is inactive or active respectively").
+type Subscription struct {
+	broker  *Broker
+	channel string
+	params  msg.Map
+	handler Handler
+
+	mu     sync.Mutex
+	active bool
+	closed bool
+}
+
+// Channel returns the subscribed channel name.
+func (s *Subscription) Channel() string { return s.channel }
+
+// Params returns a copy of the subscription's parameter object (nil when the
+// subscription has none).
+func (s *Subscription) Params() msg.Map {
+	if s.params == nil {
+		return nil
+	}
+	clone, _ := msg.Clone(s.params).(msg.Map)
+	return clone
+}
+
+// Active reports whether the subscription currently receives events.
+func (s *Subscription) Active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Release deactivates the subscription. No-op if already inactive or closed.
+func (s *Subscription) Release() {
+	s.mu.Lock()
+	if s.closed || !s.active {
+		s.mu.Unlock()
+		return
+	}
+	s.active = false
+	s.mu.Unlock()
+	s.broker.notifyChange(s.channel)
+}
+
+// Renew reactivates a released subscription. No-op if already active or
+// closed.
+func (s *Subscription) Renew() {
+	s.mu.Lock()
+	if s.closed || s.active {
+		s.mu.Unlock()
+		return
+	}
+	s.active = true
+	s.mu.Unlock()
+	s.broker.notifyChange(s.channel)
+}
+
+// Close permanently removes the subscription from the broker. Used when a
+// script or context is torn down.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	wasActive := s.active
+	s.closed = true
+	s.active = false
+	s.mu.Unlock()
+	s.broker.removeSub(s)
+	if wasActive {
+		s.broker.notifyChange(s.channel)
+	}
+}

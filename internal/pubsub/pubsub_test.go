@@ -1,0 +1,292 @@
+package pubsub
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pogo/internal/msg"
+)
+
+func TestPublishDeliversToSubscribers(t *testing.T) {
+	b := New()
+	var got []msg.Map
+	b.Subscribe("battery", nil, func(ev Event) { got = append(got, ev.Message) })
+	n := b.Publish("battery", msg.Map{"voltage": 3.9})
+	if n != 1 {
+		t.Errorf("Publish delivered to %d, want 1", n)
+	}
+	if len(got) != 1 || got[0]["voltage"].(float64) != 3.9 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPublishOnlyMatchingChannel(t *testing.T) {
+	b := New()
+	hits := 0
+	b.Subscribe("a", nil, func(Event) { hits++ })
+	b.Publish("b", msg.Map{})
+	if hits != 0 {
+		t.Error("subscriber on channel a received channel b message")
+	}
+}
+
+func TestSubscriberGetsDeepCopy(t *testing.T) {
+	b := New()
+	var first, second msg.Map
+	b.Subscribe("c", nil, func(ev Event) {
+		if first == nil {
+			first = ev.Message
+			first["mutated"] = true
+			first["nested"].(msg.Map)["x"] = 99.0
+		} else {
+			second = ev.Message
+		}
+	})
+	orig := msg.Map{"nested": msg.Map{"x": 1.0}}
+	b.Publish("c", orig)
+	b.Publish("c", orig)
+	if _, ok := second["mutated"]; ok {
+		t.Error("mutation by first delivery leaked into second")
+	}
+	if second["nested"].(msg.Map)["x"].(float64) != 1.0 {
+		t.Error("nested mutation leaked into published original")
+	}
+	if _, ok := orig["mutated"]; ok {
+		t.Error("subscriber mutated publisher's message")
+	}
+}
+
+func TestReleaseRenewIdempotent(t *testing.T) {
+	b := New()
+	hits := 0
+	sub := b.Subscribe("ch", nil, func(Event) { hits++ })
+
+	b.Publish("ch", msg.Map{})
+	sub.Release()
+	sub.Release() // idempotent
+	b.Publish("ch", msg.Map{})
+	if hits != 1 {
+		t.Fatalf("hits = %d after release, want 1", hits)
+	}
+	sub.Renew()
+	sub.Renew() // idempotent
+	b.Publish("ch", msg.Map{})
+	if hits != 2 {
+		t.Errorf("hits = %d after renew, want 2", hits)
+	}
+	if !sub.Active() {
+		t.Error("Active = false after renew")
+	}
+}
+
+func TestCloseRemovesSubscription(t *testing.T) {
+	b := New()
+	hits := 0
+	sub := b.Subscribe("ch", nil, func(Event) { hits++ })
+	sub.Close()
+	b.Publish("ch", msg.Map{})
+	if hits != 0 {
+		t.Error("closed subscription still received events")
+	}
+	sub.Renew() // no-op after close
+	if sub.Active() {
+		t.Error("Renew reactivated a closed subscription")
+	}
+	if b.HasSubscribers("ch") {
+		t.Error("HasSubscribers true after close")
+	}
+}
+
+func TestSubscriptionParams(t *testing.T) {
+	b := New()
+	params := msg.Map{"interval": 60000.0, "provider": "GPS"}
+	sub := b.Subscribe("location", params, func(Event) {})
+
+	// Mutating the caller's map must not affect the stored params.
+	params["interval"] = 1.0
+	got := sub.Params()
+	if got["interval"].(float64) != 60000.0 {
+		t.Error("params not copied on subscribe")
+	}
+	// Mutating the returned copy must not affect the stored params.
+	got["provider"] = "NETWORK"
+	if sub.Params()["provider"].(string) != "GPS" {
+		t.Error("Params returned internal state")
+	}
+
+	infos := b.Subscriptions("location")
+	if len(infos) != 1 || infos[0].Params["interval"].(float64) != 60000.0 {
+		t.Errorf("Subscriptions = %+v", infos)
+	}
+}
+
+func TestNilParams(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("x", nil, func(Event) {})
+	if sub.Params() != nil {
+		t.Errorf("Params = %v, want nil", sub.Params())
+	}
+}
+
+func TestEventFields(t *testing.T) {
+	b := New()
+	var ev Event
+	b.Subscribe("wifi-scan", msg.Map{"interval": 5.0}, func(e Event) { ev = e })
+	b.PublishFrom("wifi-scan", msg.Map{"aps": []msg.Value{}}, "device-3")
+	if ev.Channel != "wifi-scan" {
+		t.Errorf("Channel = %q", ev.Channel)
+	}
+	if ev.Origin != "device-3" {
+		t.Errorf("Origin = %q", ev.Origin)
+	}
+	if ev.Params["interval"].(float64) != 5.0 {
+		t.Errorf("Params = %v", ev.Params)
+	}
+}
+
+func TestHasSubscribersTracksActivation(t *testing.T) {
+	b := New()
+	if b.HasSubscribers("ch") {
+		t.Error("HasSubscribers on empty broker")
+	}
+	sub := b.Subscribe("ch", nil, func(Event) {})
+	if !b.HasSubscribers("ch") {
+		t.Error("HasSubscribers false after subscribe")
+	}
+	sub.Release()
+	if b.HasSubscribers("ch") {
+		t.Error("HasSubscribers true after release")
+	}
+	sub.Renew()
+	if !b.HasSubscribers("ch") {
+		t.Error("HasSubscribers false after renew")
+	}
+}
+
+func TestOnSubscriptionChange(t *testing.T) {
+	b := New()
+	var events []string
+	cancel := b.OnSubscriptionChange("wifi-scan", func(ch string) {
+		events = append(events, ch)
+	})
+
+	sub := b.Subscribe("wifi-scan", nil, func(Event) {})
+	b.Subscribe("other", nil, func(Event) {}) // must not notify
+	sub.Release()
+	sub.Renew()
+	if len(events) != 3 {
+		t.Fatalf("events = %v, want 3 notifications", events)
+	}
+	cancel()
+	sub.Release()
+	if len(events) != 3 {
+		t.Error("watcher fired after cancel")
+	}
+}
+
+func TestOnSubscriptionChangeWildcard(t *testing.T) {
+	b := New()
+	var channels []string
+	b.OnSubscriptionChange("", func(ch string) { channels = append(channels, ch) })
+	b.Subscribe("a", nil, func(Event) {})
+	b.Subscribe("b", nil, func(Event) {})
+	if !reflect.DeepEqual(channels, []string{"a", "b"}) {
+		t.Errorf("channels = %v", channels)
+	}
+}
+
+func TestChannels(t *testing.T) {
+	b := New()
+	s1 := b.Subscribe("a", nil, func(Event) {})
+	b.Subscribe("b", nil, func(Event) {})
+	chans := b.Channels()
+	if len(chans) != 2 {
+		t.Errorf("Channels = %v", chans)
+	}
+	s1.Release()
+	chans = b.Channels()
+	if len(chans) != 1 || chans[0] != "b" {
+		t.Errorf("Channels after release = %v", chans)
+	}
+}
+
+func TestNilHandlerSubscription(t *testing.T) {
+	b := New()
+	b.Subscribe("demand", msg.Map{"interval": 1.0}, nil)
+	if !b.HasSubscribers("demand") {
+		t.Error("nil-handler subscription not counted as demand")
+	}
+	if n := b.Publish("demand", msg.Map{}); n != 0 {
+		t.Errorf("delivered to %d nil handlers", n)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := b.Subscribe("ch", nil, func(Event) {
+				mu.Lock()
+				total++
+				mu.Unlock()
+			})
+			for j := 0; j < 50; j++ {
+				b.Publish("ch", msg.Map{"j": float64(j)})
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	if total == 0 {
+		t.Error("no deliveries under concurrency")
+	}
+}
+
+// Property: after an arbitrary sequence of release/renew toggles, the number
+// of deliveries equals the number of publishes issued while active.
+func TestPropertyToggleDeliveryCount(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			ops := make([]byte, r.Intn(40))
+			for i := range ops {
+				ops[i] = byte(r.Intn(3)) // 0=publish 1=release 2=renew
+			}
+			args[0] = reflect.ValueOf(ops)
+		},
+	}
+	prop := func(ops []byte) bool {
+		b := New()
+		hits := 0
+		sub := b.Subscribe("ch", nil, func(Event) { hits++ })
+		want := 0
+		active := true
+		for _, op := range ops {
+			switch op {
+			case 0:
+				b.Publish("ch", msg.Map{})
+				if active {
+					want++
+				}
+			case 1:
+				sub.Release()
+				active = false
+			case 2:
+				sub.Renew()
+				active = true
+			}
+		}
+		return hits == want
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package sched implements Pogo's task scheduler (§4.5 of the paper).
+//
+// The scheduler abstracts away the complexities of setting alarms and
+// managing wake locks: components submit (optionally delayed) tasks; on a
+// phone the scheduler sets an RTC wake-up alarm so the task runs even if the
+// CPU is deep asleep, and holds a wake lock for the duration of the task so
+// asynchronous work (a Wi-Fi scan completing, a network write) is not cut
+// short. When there are no tasks to execute the CPU can safely go to sleep.
+//
+// On collector nodes (desktop PCs) there is no Device and tasks are simply
+// timed callbacks.
+package sched
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/vclock"
+)
+
+// Scheduler runs submitted tasks, waking the device for them when one is
+// attached. The zero value is not usable; construct with New.
+type Scheduler struct {
+	clk vclock.Clock
+	dev *android.Device // nil on collector nodes
+
+	nextID atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	timers map[int64]vclock.Timer
+}
+
+// New returns a scheduler. dev may be nil (collector mode).
+func New(clk vclock.Clock, dev *android.Device) *Scheduler {
+	return &Scheduler{clk: clk, dev: dev, timers: make(map[int64]vclock.Timer)}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() vclock.Clock { return s.clk }
+
+// Device returns the attached device, or nil on a collector node.
+func (s *Scheduler) Device() *android.Device { return s.dev }
+
+// Submit runs task as soon as possible (at the current instant in simulated
+// time), holding a wake lock around it on a device.
+func (s *Scheduler) Submit(name string, task func()) {
+	s.After(0, name, task)
+}
+
+// After schedules task to run after delay. On a device the underlying timer
+// is an RTC wake-up alarm, so the task runs on schedule even if the CPU is
+// asleep; a wake lock named after the task is held while it executes. The
+// returned Timer cancels the task if it has not started.
+func (s *Scheduler) After(delay time.Duration, name string, task func()) vclock.Timer {
+	id := s.nextID.Add(1)
+	run := func() {
+		s.forget(id)
+		if s.isClosed() {
+			return
+		}
+		if s.dev != nil {
+			lock := "sched-" + name + "-" + strconv.FormatInt(id, 10)
+			s.dev.AcquireWakeLock(lock)
+			defer s.dev.ReleaseWakeLock(lock)
+		}
+		task()
+	}
+	var tm vclock.Timer
+	if s.dev != nil {
+		tm = s.dev.SetAlarm(delay, run)
+	} else {
+		tm = s.clk.AfterFunc(delay, run)
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.timers[id] = tm
+	}
+	s.mu.Unlock()
+	return tm
+}
+
+// Every schedules task at a fixed period until the returned stop function is
+// called (or the scheduler closes). The first run happens one period from
+// now.
+func (s *Scheduler) Every(period time.Duration, name string, task func()) (stop func()) {
+	var (
+		mu      sync.Mutex
+		stopped bool
+		cur     vclock.Timer
+	)
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		cur = s.After(period, name, tick)
+		mu.Unlock()
+		task()
+	}
+	mu.Lock()
+	cur = s.After(period, name, tick)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+		if cur != nil {
+			cur.Stop()
+		}
+	}
+}
+
+// Close cancels all pending tasks and rejects future ones from running.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	timers := s.timers
+	s.timers = map[int64]vclock.Timer{}
+	s.mu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+}
+
+func (s *Scheduler) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Scheduler) forget(id int64) {
+	s.mu.Lock()
+	delete(s.timers, id)
+	s.mu.Unlock()
+}
+
+// SerialQueue serializes task execution for one script: JavaScript has no
+// concurrency facilities, so although multiple framework threads may call
+// into a script (subscriptions, timeouts), only one runs script code at a
+// time (§4.5).
+type SerialQueue struct {
+	mu sync.Mutex
+}
+
+// Do runs fn while holding the queue's lock.
+func (q *SerialQueue) Do(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fn()
+}

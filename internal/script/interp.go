@@ -1,0 +1,803 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// RuntimeError reports a failure during script execution.
+type RuntimeError struct {
+	Script string
+	Line   int
+	Msg    string
+	// Thrown holds the value of a script `throw` that escaped, or nil.
+	Thrown Value
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Script, e.Line, e.Msg)
+}
+
+// ErrBudget is wrapped into the RuntimeError produced when a script call
+// exceeds its step budget (the paper's 100 ms call timeout, §4.5).
+var ErrBudget = errors.New("script: execution budget exceeded")
+
+// scope is one lexical environment frame. PogoScript uses function-level
+// scoping (JavaScript `var` semantics); blocks do not introduce frames.
+type scope struct {
+	vars   map[string]Value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]Value), parent: parent}
+}
+
+func (s *scope) lookup(name string) (Value, bool) {
+	for e := s; e != nil; e = e.parent {
+		if v, ok := e.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// set assigns to an existing binding, or creates a global (top frame)
+// binding when none exists — sloppy-mode JavaScript.
+func (s *scope) set(name string, v Value) {
+	for e := s; e != nil; e = e.parent {
+		if _, ok := e.vars[name]; ok {
+			e.vars[name] = v
+			return
+		}
+		if e.parent == nil {
+			e.vars[name] = v
+			return
+		}
+	}
+}
+
+// declare creates a binding in this frame.
+func (s *scope) declare(name string, v Value) { s.vars[name] = v }
+
+// control-flow signals travel as errors.
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+
+type returnSignal struct{ value Value }
+
+func (returnSignal) Error() string { return "return outside function" }
+
+type throwSignal struct {
+	value Value
+	line  int
+}
+
+func (t throwSignal) Error() string { return "uncaught: " + ToString(t.value) }
+
+// maxCallDepth bounds script-level call nesting so runaway recursion gets a
+// clean RuntimeError instead of exhausting the Go stack.
+const maxCallDepth = 2000
+
+// interp evaluates an AST under a step budget.
+type interp struct {
+	name    string
+	globals *scope
+	steps   int // remaining budget for the current entry
+	depth   int // current script call nesting
+}
+
+func (in *interp) errorf(n node, format string, args ...any) error {
+	line := 0
+	if n != nil {
+		line, _ = n.pos()
+	}
+	return &RuntimeError{Script: in.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// charge spends one budget step.
+func (in *interp) charge(n node) error {
+	in.steps--
+	if in.steps < 0 {
+		line := 0
+		if n != nil {
+			line, _ = n.pos()
+		}
+		return &RuntimeError{Script: in.name, Line: line, Msg: ErrBudget.Error()}
+	}
+	return nil
+}
+
+// execBlockBody hoists function declarations, then executes statements.
+func (in *interp) execBlockBody(body []node, env *scope) error {
+	for _, stmt := range body {
+		if fd, ok := stmt.(*funcDecl); ok {
+			env.set(fd.name, &Function{name: fd.name, params: fd.fn.params, body: fd.fn.body, env: env})
+		}
+	}
+	for _, stmt := range body {
+		if err := in.exec(stmt, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) exec(n node, env *scope) error {
+	if err := in.charge(n); err != nil {
+		return err
+	}
+	switch s := n.(type) {
+	case *program:
+		return in.execBlockBody(s.body, env)
+	case *blockStmt:
+		return in.execBlockBody(s.body, env)
+	case *varDecl:
+		for i, name := range s.names {
+			var v Value = Undefined
+			if s.inits[i] != nil {
+				ev, err := in.eval(s.inits[i], env)
+				if err != nil {
+					return err
+				}
+				v = ev
+			}
+			env.declare(name, v)
+		}
+		return nil
+	case *funcDecl:
+		return nil // hoisted by execBlockBody
+	case *exprStmt:
+		_, err := in.eval(s.expr, env)
+		return err
+	case *ifStmt:
+		cond, err := in.eval(s.cond, env)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.exec(s.then, env)
+		}
+		if s.alt != nil {
+			return in.exec(s.alt, env)
+		}
+		return nil
+	case *whileStmt:
+		for {
+			if !s.post {
+				cond, err := in.eval(s.cond, env)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+			if err := in.exec(s.body, env); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					// fall through to the post-condition check
+				default:
+					return err
+				}
+			}
+			if s.post {
+				cond, err := in.eval(s.cond, env)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+		}
+	case *forStmt:
+		if s.init != nil {
+			if vd, ok := s.init.(*varDecl); ok {
+				if err := in.exec(vd, env); err != nil {
+					return err
+				}
+			} else if _, err := in.eval(s.init, env); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.cond != nil {
+				cond, err := in.eval(s.cond, env)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+			if err := in.exec(s.body, env); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+				default:
+					return err
+				}
+			}
+			if s.step != nil {
+				if _, err := in.eval(s.step, env); err != nil {
+					return err
+				}
+			}
+		}
+	case *forInStmt:
+		obj, err := in.eval(s.obj, env)
+		if err != nil {
+			return err
+		}
+		var keys []string
+		switch o := obj.(type) {
+		case *Object:
+			keys = o.Keys()
+		case *Array:
+			keys = make([]string, o.Len())
+			for i := range keys {
+				keys[i] = strconv.Itoa(i)
+			}
+		case nil, UndefinedType:
+			return nil
+		default:
+			return in.errorf(s, "for-in over %s", TypeOf(obj))
+		}
+		if s.declare {
+			env.declare(s.varName, Undefined)
+		}
+		for _, k := range keys {
+			env.set(s.varName, k)
+			if err := in.exec(s.body, env); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					continue
+				default:
+					return err
+				}
+			}
+		}
+		return nil
+	case *returnStmt:
+		var v Value = Undefined
+		if s.value != nil {
+			ev, err := in.eval(s.value, env)
+			if err != nil {
+				return err
+			}
+			v = ev
+		}
+		return returnSignal{value: v}
+	case *breakStmt:
+		return breakSignal{}
+	case *continueStmt:
+		return continueSignal{}
+	case *switchStmt:
+		disc, err := in.eval(s.disc, env)
+		if err != nil {
+			return err
+		}
+		start := -1
+		for i, cl := range s.cases {
+			if cl.test == nil {
+				continue
+			}
+			tv, err := in.eval(cl.test, env)
+			if err != nil {
+				return err
+			}
+			if strictEquals(disc, tv) {
+				start = i
+				break
+			}
+		}
+		if start == -1 {
+			for i, cl := range s.cases {
+				if cl.test == nil {
+					start = i
+					break
+				}
+			}
+		}
+		if start == -1 {
+			return nil
+		}
+		// Execute from the matched clause, falling through until break.
+		for i := start; i < len(s.cases); i++ {
+			for _, stmt := range s.cases[i].body {
+				if err := in.exec(stmt, env); err != nil {
+					if _, isBreak := err.(breakSignal); isBreak {
+						return nil
+					}
+					return err
+				}
+			}
+		}
+		return nil
+	case *throwStmt:
+		v, err := in.eval(s.value, env)
+		if err != nil {
+			return err
+		}
+		line, _ := s.pos()
+		return throwSignal{value: v, line: line}
+	case *tryStmt:
+		err := in.exec(s.block, env)
+		if ts, ok := err.(throwSignal); ok && s.catchBody != nil {
+			env.declare(s.catchVar, ts.value)
+			err = in.exec(s.catchBody, env)
+		}
+		if s.finally != nil {
+			if ferr := in.exec(s.finally, env); ferr != nil {
+				return ferr
+			}
+		}
+		return err
+	default:
+		return in.errorf(n, "internal: unknown statement %T", n)
+	}
+}
+
+func (in *interp) eval(n node, env *scope) (Value, error) {
+	if err := in.charge(n); err != nil {
+		return nil, err
+	}
+	switch e := n.(type) {
+	case *numberLit:
+		return e.value, nil
+	case *stringLit:
+		return e.value, nil
+	case *boolLit:
+		return e.value, nil
+	case *nullLit:
+		return nil, nil
+	case *undefinedLit:
+		return Undefined, nil
+	case *ident:
+		if v, ok := env.lookup(e.name); ok {
+			return v, nil
+		}
+		return nil, in.errorf(e, "%s is not defined", e.name)
+	case *arrayLit:
+		arr := NewArray()
+		for _, el := range e.elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.elems = append(arr.elems, v)
+		}
+		return arr, nil
+	case *objectLit:
+		obj := NewObject()
+		for i, k := range e.keys {
+			v, err := in.eval(e.values[i], env)
+			if err != nil {
+				return nil, err
+			}
+			obj.Set(k, v)
+		}
+		return obj, nil
+	case *funcLit:
+		fn := &Function{name: e.name, params: e.params, body: e.body, env: env}
+		if e.name != "" {
+			// Named function expressions can refer to themselves.
+			inner := newScope(env)
+			inner.declare(e.name, fn)
+			fn.env = inner
+		}
+		return fn, nil
+	case *member:
+		obj, err := in.eval(e.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.getProperty(e, obj, e.name)
+	case *index:
+		obj, err := in.eval(e.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.eval(e.key, env)
+		if err != nil {
+			return nil, err
+		}
+		if arr, ok := obj.(*Array); ok {
+			if kf, ok := key.(float64); ok {
+				return arr.At(int(kf)), nil
+			}
+		}
+		if s, ok := obj.(string); ok {
+			if kf, ok := key.(float64); ok {
+				i := int(kf)
+				if i >= 0 && i < len(s) {
+					return string(s[i]), nil
+				}
+				return Undefined, nil
+			}
+		}
+		return in.getProperty(e, obj, ToString(key))
+	case *call:
+		return in.evalCall(e, env)
+	case *unary:
+		return in.evalUnary(e, env)
+	case *postfix:
+		old, err := in.eval(e.operand, env)
+		if err != nil {
+			return nil, err
+		}
+		n := ToNumber(old)
+		delta := 1.0
+		if e.op == "--" {
+			delta = -1
+		}
+		if err := in.assignTo(e.operand, n+delta, env); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case *binary:
+		return in.evalBinary(e, env)
+	case *logical:
+		left, err := in.eval(e.left, env)
+		if err != nil {
+			return nil, err
+		}
+		if e.op == "&&" {
+			if !Truthy(left) {
+				return left, nil
+			}
+		} else if Truthy(left) {
+			return left, nil
+		}
+		return in.eval(e.right, env)
+	case *ternary:
+		cond, err := in.eval(e.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.eval(e.then, env)
+		}
+		return in.eval(e.alt, env)
+	case *assign:
+		return in.evalAssign(e, env)
+	default:
+		return nil, in.errorf(n, "internal: unknown expression %T", n)
+	}
+}
+
+func (in *interp) evalUnary(e *unary, env *scope) (Value, error) {
+	if e.op == "typeof" {
+		// typeof tolerates undefined identifiers.
+		if id, ok := e.operand.(*ident); ok {
+			if v, defined := env.lookup(id.name); defined {
+				return TypeOf(v), nil
+			}
+			return "undefined", nil
+		}
+		v, err := in.eval(e.operand, env)
+		if err != nil {
+			return nil, err
+		}
+		return TypeOf(v), nil
+	}
+	if e.op == "delete" {
+		switch target := e.operand.(type) {
+		case *member:
+			obj, err := in.eval(target.obj, env)
+			if err != nil {
+				return nil, err
+			}
+			if o, ok := obj.(*Object); ok {
+				o.Delete(target.name)
+			}
+			return true, nil
+		case *index:
+			obj, err := in.eval(target.obj, env)
+			if err != nil {
+				return nil, err
+			}
+			key, err := in.eval(target.key, env)
+			if err != nil {
+				return nil, err
+			}
+			if o, ok := obj.(*Object); ok {
+				o.Delete(ToString(key))
+			}
+			return true, nil
+		default:
+			return true, nil
+		}
+	}
+	if e.op == "++" || e.op == "--" {
+		old, err := in.eval(e.operand, env)
+		if err != nil {
+			return nil, err
+		}
+		n := ToNumber(old)
+		if e.op == "++" {
+			n++
+		} else {
+			n--
+		}
+		if err := in.assignTo(e.operand, n, env); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	v, err := in.eval(e.operand, env)
+	if err != nil {
+		return nil, err
+	}
+	switch e.op {
+	case "!":
+		return !Truthy(v), nil
+	case "-":
+		return -ToNumber(v), nil
+	case "+":
+		return ToNumber(v), nil
+	default:
+		return nil, in.errorf(e, "unsupported unary %q", e.op)
+	}
+}
+
+func (in *interp) evalBinary(e *binary, env *scope) (Value, error) {
+	left, err := in.eval(e.left, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := in.eval(e.right, env)
+	if err != nil {
+		return nil, err
+	}
+	return in.applyBinary(e, e.op, left, right)
+}
+
+func (in *interp) applyBinary(n node, op string, left, right Value) (Value, error) {
+	switch op {
+	case ",":
+		return right, nil
+	case "+":
+		_, ls := left.(string)
+		_, rs := right.(string)
+		if ls || rs || isComposite(left) || isComposite(right) {
+			return ToString(left) + ToString(right), nil
+		}
+		return ToNumber(left) + ToNumber(right), nil
+	case "-":
+		return ToNumber(left) - ToNumber(right), nil
+	case "*":
+		return ToNumber(left) * ToNumber(right), nil
+	case "/":
+		return ToNumber(left) / ToNumber(right), nil
+	case "%":
+		return math.Mod(ToNumber(left), ToNumber(right)), nil
+	case "==":
+		return looseEquals(left, right), nil
+	case "!=":
+		return !looseEquals(left, right), nil
+	case "===":
+		return strictEquals(left, right), nil
+	case "!==":
+		return !strictEquals(left, right), nil
+	case "<", ">", "<=", ">=":
+		if ls, ok := left.(string); ok {
+			if rs, ok := right.(string); ok {
+				switch op {
+				case "<":
+					return ls < rs, nil
+				case ">":
+					return ls > rs, nil
+				case "<=":
+					return ls <= rs, nil
+				default:
+					return ls >= rs, nil
+				}
+			}
+		}
+		ln, rn := ToNumber(left), ToNumber(right)
+		switch op {
+		case "<":
+			return ln < rn, nil
+		case ">":
+			return ln > rn, nil
+		case "<=":
+			return ln <= rn, nil
+		default:
+			return ln >= rn, nil
+		}
+	default:
+		return nil, in.errorf(n, "unsupported operator %q", op)
+	}
+}
+
+func isComposite(v Value) bool {
+	switch v.(type) {
+	case *Object, *Array, *Function, *Builtin:
+		return true
+	default:
+		return false
+	}
+}
+
+func (in *interp) evalAssign(e *assign, env *scope) (Value, error) {
+	var newVal Value
+	if e.op == "=" {
+		v, err := in.eval(e.value, env)
+		if err != nil {
+			return nil, err
+		}
+		newVal = v
+	} else {
+		old, err := in.eval(e.target, env)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := in.eval(e.value, env)
+		if err != nil {
+			return nil, err
+		}
+		op := e.op[:1] // "+=" → "+"
+		v, err := in.applyBinary(e, op, old, rhs)
+		if err != nil {
+			return nil, err
+		}
+		newVal = v
+	}
+	if err := in.assignTo(e.target, newVal, env); err != nil {
+		return nil, err
+	}
+	return newVal, nil
+}
+
+func (in *interp) assignTo(target node, v Value, env *scope) error {
+	switch t := target.(type) {
+	case *ident:
+		env.set(t.name, v)
+		return nil
+	case *member:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		return in.setProperty(t, obj, t.name, v)
+	case *index:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		key, err := in.eval(t.key, env)
+		if err != nil {
+			return err
+		}
+		if arr, ok := obj.(*Array); ok {
+			if kf, ok := key.(float64); ok {
+				if kf < 0 || kf != math.Trunc(kf) {
+					return in.errorf(t, "bad array index %v", kf)
+				}
+				arr.SetAt(int(kf), v)
+				return nil
+			}
+		}
+		return in.setProperty(t, obj, ToString(key), v)
+	default:
+		return in.errorf(target, "invalid assignment target")
+	}
+}
+
+func (in *interp) setProperty(n node, obj Value, name string, v Value) error {
+	switch o := obj.(type) {
+	case *Object:
+		o.Set(name, v)
+		return nil
+	case *Array:
+		if name == "length" {
+			want := int(ToNumber(v))
+			if want < 0 {
+				return in.errorf(n, "bad length %v", v)
+			}
+			for len(o.elems) > want {
+				o.elems = o.elems[:len(o.elems)-1]
+			}
+			for len(o.elems) < want {
+				o.elems = append(o.elems, Undefined)
+			}
+			return nil
+		}
+		return in.errorf(n, "cannot set %q on array", name)
+	default:
+		return in.errorf(n, "cannot set property %q on %s", name, TypeOf(obj))
+	}
+}
+
+func (in *interp) evalCall(e *call, env *scope) (Value, error) {
+	var this Value = Undefined
+	var callee Value
+	switch c := e.callee.(type) {
+	case *member:
+		obj, err := in.eval(c.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		this = obj
+		fn, err := in.getProperty(c, obj, c.name)
+		if err != nil {
+			return nil, err
+		}
+		callee = fn
+	case *index:
+		obj, err := in.eval(c.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.eval(c.key, env)
+		if err != nil {
+			return nil, err
+		}
+		this = obj
+		fn, err := in.getProperty(c, obj, ToString(key))
+		if err != nil {
+			return nil, err
+		}
+		callee = fn
+	default:
+		fn, err := in.eval(e.callee, env)
+		if err != nil {
+			return nil, err
+		}
+		callee = fn
+	}
+	args := make([]Value, len(e.args))
+	for i, a := range e.args {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return in.invoke(e, callee, this, args)
+}
+
+// invoke calls a script or builtin function value.
+func (in *interp) invoke(n node, callee, this Value, args []Value) (Value, error) {
+	switch fn := callee.(type) {
+	case *Function:
+		in.depth++
+		defer func() { in.depth-- }()
+		if in.depth > maxCallDepth {
+			return nil, in.errorf(n, "call stack exceeded (%d nested calls)", maxCallDepth)
+		}
+		frame := newScope(fn.env)
+		for i, p := range fn.params {
+			if i < len(args) {
+				frame.declare(p, args[i])
+			} else {
+				frame.declare(p, Undefined)
+			}
+		}
+		frame.declare("arguments", NewArray(args...))
+		err := in.exec(fn.body, frame)
+		if err == nil {
+			return Undefined, nil
+		}
+		if ret, ok := err.(returnSignal); ok {
+			return ret.value, nil
+		}
+		return nil, err
+	case *Builtin:
+		return fn.fn(in, this, args)
+	default:
+		return nil, in.errorf(n, "%s is not a function", TypeOf(callee))
+	}
+}

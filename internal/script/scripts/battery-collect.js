@@ -1,0 +1,6 @@
+// battery-collect.js — collector side of the battery reporter: persist the
+// readings arriving from every device on the roster.
+setDescription('Battery report collector');
+subscribe('battery-report', function (m, origin) {
+  logTo('battery', origin + ' ' + json(m));
+});

@@ -1,0 +1,13 @@
+// battery.js — the §5.2 power-measurement workload: sample the battery
+// sensor once per minute and report the readings to the collector. With the
+// tail-sync flush policy the values leave the phone in batches of five,
+// riding the e-mail application's 3G tail.
+setDescription('Battery voltage reporter (power experiment workload)');
+
+subscribe('battery', function (m) {
+  publish('battery-report', {
+    voltage: m.voltage,
+    level: m.level,
+    t: m.timestamp
+  });
+}, { interval: 60 * 1000 });

@@ -1,0 +1,182 @@
+// clustering.js — second stage of the localization application (paper
+// §4.1). Clusters sanitized Wi-Fi scans into 'places' using a modified
+// DBSCAN: core objects are extracted from a sliding window of the last 60
+// samples, the distance metric is one minus the cosine coefficient of the
+// two scans' RSSI vectors, and the current cluster is closed as soon as a
+// sample arrives that is not reachable from it (the user walked away).
+// When a cluster closes, the sample nearest to the cluster mean is selected
+// as its characterization and shipped to the collector together with the
+// entry and exit timestamps.
+//
+// Script state (window + open cluster) is frozen after every sample so a
+// reboot or script update only costs us the message in flight, not the
+// whole dwell (§5.3 post-mortem: freeze/thaw was added for exactly this).
+setDescription('Sliding-window DBSCAN place clustering (localization stage 2)');
+
+var WINDOW = 60;     // samples kept for core-object extraction
+var EPS = 0.35;      // neighbourhood radius (cosine distance)
+var MIN_PTS = 4;     // neighbours (incl. self) needed for a core object
+var MIN_CLUSTER = 5; // samples needed before a closed cluster is reported
+
+var FREEZE_EVERY = 5; // persist state every N samples (not each one: the
+                      // serialization cost of the full window adds up, and
+                      // losing up to five minutes at a reboot is acceptable)
+
+var window = [];     // sliding window of recent samples
+var cluster = null;  // { samples: [...] } while the user dwells somewhere
+var sinceFreeze = 0;
+
+// ---- vector helpers over sparse {bssid: weight} maps ----
+
+function dot(a, b) {
+  var sum = 0;
+  for (var k in a) {
+    if (b.hasOwnProperty(k)) {
+      sum += a[k] * b[k];
+    }
+  }
+  return sum;
+}
+
+function norm(a) {
+  var sum = 0;
+  for (var k in a) {
+    sum += a[k] * a[k];
+  }
+  return Math.sqrt(sum);
+}
+
+// Cosine coefficient distance: 0 = identical AP environment, 1 = disjoint.
+function distance(s1, s2) {
+  var n1 = norm(s1.aps);
+  var n2 = norm(s2.aps);
+  if (n1 === 0 || n2 === 0) {
+    return 1;
+  }
+  var cos = dot(s1.aps, s2.aps) / (n1 * n2);
+  if (cos > 1) {
+    cos = 1;
+  }
+  return 1 - cos;
+}
+
+// A sample is a core object when it has MIN_PTS neighbours in the window.
+function isCore(sample) {
+  var neighbours = 0;
+  for (var i = 0; i < window.length; i++) {
+    if (distance(sample, window[i]) <= EPS) {
+      neighbours++;
+      if (neighbours >= MIN_PTS) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// A sample is reachable from the open cluster when it is within EPS of any
+// of the cluster's samples.
+function reachable(sample) {
+  for (var i = cluster.samples.length - 1; i >= 0; i--) {
+    if (distance(sample, cluster.samples[i]) <= EPS) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Mean vector of the cluster's samples.
+function clusterMean() {
+  var mean = {};
+  var n = cluster.samples.length;
+  for (var i = 0; i < n; i++) {
+    var aps = cluster.samples[i].aps;
+    for (var k in aps) {
+      if (mean.hasOwnProperty(k)) {
+        mean[k] += aps[k] / n;
+      } else {
+        mean[k] = aps[k] / n;
+      }
+    }
+  }
+  return mean;
+}
+
+// The characterization is the sample nearest to the mean of all samples.
+function characterize() {
+  var mean = { aps: clusterMean() };
+  var best = null;
+  var bestDist = 2;
+  for (var i = 0; i < cluster.samples.length; i++) {
+    var d = distance(cluster.samples[i], mean);
+    if (d < bestDist) {
+      bestDist = d;
+      best = cluster.samples[i];
+    }
+  }
+  return best;
+}
+
+function closeCluster() {
+  if (cluster.samples.length >= MIN_CLUSTER) {
+    var rep = characterize();
+    publish('clusters', {
+      enter: cluster.samples[0].t,
+      exit: cluster.samples[cluster.samples.length - 1].t,
+      samples: cluster.samples.length,
+      aps: rep.aps
+    });
+  }
+  cluster = null;
+}
+
+// When a core object appears, the cluster retroactively absorbs the window
+// samples density-reachable from it, so the entry timestamp reflects when
+// the user actually arrived, not when density was first established.
+function openCluster(core) {
+  var members = [];
+  for (var i = 0; i < window.length; i++) {
+    if (distance(core, window[i]) <= EPS) {
+      members.push(window[i]);
+    }
+  }
+  cluster = { samples: members };
+}
+
+function handleSample(sample) {
+  window.push(sample);
+  if (window.length > WINDOW) {
+    window.shift();
+  }
+  if (cluster !== null) {
+    if (reachable(sample)) {
+      cluster.samples.push(sample);
+    } else {
+      closeCluster();
+    }
+  }
+  if (cluster === null && isCore(sample)) {
+    openCluster(sample);
+  }
+  // Persist state periodically so restarts do not lose the dwell in
+  // progress.
+  sinceFreeze++;
+  if (sinceFreeze >= FREEZE_EVERY) {
+    sinceFreeze = 0;
+    freeze({ window: window, cluster: cluster });
+  }
+}
+
+function start() {
+  var state = thaw();
+  if (state !== null && state !== undefined) {
+    window = state.window || [];
+    cluster = state.cluster || null;
+    // Arrays round-tripped through freeze lose nothing, but make sure the
+    // cluster shape is sane after a version upgrade.
+    if (cluster !== null && (typeof cluster !== 'object' || !cluster.samples)) {
+      cluster = null;
+    }
+  }
+  subscribe('scans', handleSample);
+}

@@ -1,0 +1,31 @@
+// collect.js — collector-side stage of the localization application (paper
+// §4.1). Receives cluster characterizations from every device in the
+// experiment, resolves them to coordinates through the geolocation service,
+// and appends the annotated places to the 'places' database log.
+setDescription('Localization collector: geocode clusters into places');
+
+var nextId = 1;
+var pending = {};
+
+subscribe('clusters', function (c, origin) {
+  var id = 'req-' + nextId++;
+  pending[id] = { device: origin, cluster: c };
+  publish('geo-lookup', { id: id, aps: c.aps });
+});
+
+subscribe('geo-result', function (r) {
+  var p = pending[r.id];
+  if (!p) {
+    return;
+  }
+  delete pending[r.id];
+  logTo('places', json({
+    device: p.device,
+    enter: p.cluster.enter,
+    exit: p.cluster.exit,
+    samples: p.cluster.samples,
+    aps: p.cluster.aps,
+    lat: r.lat,
+    lon: r.lon
+  }));
+});

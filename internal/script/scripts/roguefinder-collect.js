@@ -1,0 +1,7 @@
+// roguefinder-collect.js — the collector half of RogueFinder (Table 2's
+// second collect.js): write the filtered scans arriving from all devices to
+// permanent storage.
+setDescription('RogueFinder collector');
+subscribe('filtered-scans', function (scan, origin) {
+  logTo('scans', origin + ' ' + json(scan));
+});

@@ -1,0 +1,43 @@
+// roguefinder.js — the RogueFinder application of the paper's Listing 2:
+// report Wi-Fi access point scans once per minute, but only while the
+// device is inside a given geographical polygon. Demonstrates the
+// release/renew subscription pattern; locationInPolygon is the helper the
+// paper omits for brevity (AnonyTL gets it as the built-in `In` construct).
+setDescription('RogueFinder: geofenced Wi-Fi scan reporting');
+
+function locationInPolygon(loc, polygon) {
+  // Ray casting: count edge crossings of a horizontal ray from loc.
+  var inside = false;
+  var j = polygon.length - 1;
+  for (var i = 0; i < polygon.length; i++) {
+    var xi = polygon[i].x;
+    var yi = polygon[i].y;
+    var xj = polygon[j].x;
+    var yj = polygon[j].y;
+    var crosses = (yi > loc.y) !== (yj > loc.y) &&
+      loc.x < (xj - xi) * (loc.y - yi) / (yj - yi) + xi;
+    if (crosses) {
+      inside = !inside;
+    }
+    j = i;
+  }
+  return inside;
+}
+
+function start() {
+  var polygon = [{ x: 1, y: 1 }, { x: 2, y: 2 }, { x: 3, y: 0 }];
+
+  var subscription = subscribe('wifi-scan', function (msg) {
+    publish(msg, 'filtered-scans');
+  }, { interval: 60 * 1000 });
+
+  subscription.release();
+
+  subscribe('location', function (msg) {
+    if (locationInPolygon({ x: msg.lat, y: msg.lon }, polygon)) {
+      subscription.renew();
+    } else {
+      subscription.release();
+    }
+  });
+}

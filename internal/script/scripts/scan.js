@@ -1,0 +1,38 @@
+// scan.js — first stage of the localization application (paper §4.1).
+// Requests Wi-Fi access point scans once per minute, removes locally
+// administered access points, and normalizes RSSI so that 0 and 1
+// correspond to -100 dBm and -55 dBm respectively. Clean scans are
+// republished on the 'scans' channel for clustering.js.
+setDescription('Wi-Fi scan sanitizer (localization stage 1)');
+
+var MIN_RSSI = -100;
+var MAX_RSSI = -55;
+
+function normalize(rssi) {
+  var v = (rssi - MIN_RSSI) / (MAX_RSSI - MIN_RSSI);
+  if (v < 0) {
+    v = 0;
+  }
+  if (v > 1) {
+    v = 1;
+  }
+  return v;
+}
+
+subscribe('wifi-scan', function (scan) {
+  var aps = scan.aps;
+  var clean = {};
+  var count = 0;
+  for (var i = 0; i < aps.length; i++) {
+    var ap = aps[i];
+    if (ap.local) {
+      continue; // locally administered: tethering hotspots etc.
+    }
+    clean[ap.bssid] = normalize(ap.rssi);
+    count++;
+  }
+  if (count === 0) {
+    return; // nothing usable in this scan
+  }
+  publish('scans', { t: scan.timestamp, aps: clean });
+}, { interval: 60 * 1000 });

@@ -1,0 +1,90 @@
+// Package scripts embeds the PogoScript applications from the paper: the
+// three-stage localization pipeline of §4.1 (scan.js, clustering.js,
+// collect.js), the RogueFinder comparison of §5.1 (Listing 2), and the
+// battery-reporting workload of the §5.2 power experiment.
+//
+// SLOC counts over these sources regenerate Table 2.
+package scripts
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+)
+
+//go:embed *.js
+var fs embed.FS
+
+// Source returns the text of a bundled script by file name.
+func Source(name string) (string, error) {
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		return "", fmt.Errorf("scripts: %w", err)
+	}
+	return string(b), nil
+}
+
+// MustSource is Source for known-good names; it panics on error.
+func MustSource(name string) string {
+	s, err := Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names lists the bundled scripts.
+func Names() []string {
+	entries, err := fs.ReadDir(".")
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".js") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// SLOC counts source lines of code the way the paper does for Table 2:
+// empty lines and comments are not counted.
+func SLOC(source string) int {
+	count := 0
+	inBlock := false
+	for _, line := range strings.Split(source, "\n") {
+		line = strings.TrimSpace(line)
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				line = strings.TrimSpace(line[idx+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "/*") {
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// Size returns the byte size of a bundled script (the Table 2 Size column).
+func Size(name string) (int, error) {
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		return 0, fmt.Errorf("scripts: %w", err)
+	}
+	return len(b), nil
+}

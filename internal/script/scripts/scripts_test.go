@@ -1,0 +1,95 @@
+package scripts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllBundledScriptsPresent(t *testing.T) {
+	names := Names()
+	want := []string{
+		"battery-collect.js", "battery.js", "clustering.js", "collect.js",
+		"roguefinder-collect.js", "roguefinder.js", "scan.js",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, w := range want {
+		if _, err := Source(w); err != nil {
+			t.Errorf("Source(%s): %v", w, err)
+		}
+		if sz, err := Size(w); err != nil || sz == 0 {
+			t.Errorf("Size(%s) = %d, %v", w, sz, err)
+		}
+	}
+}
+
+func TestSourceUnknown(t *testing.T) {
+	if _, err := Source("nope.js"); err == nil {
+		t.Error("Source(nope.js) succeeded")
+	}
+	if _, err := Size("nope.js"); err == nil {
+		t.Error("Size(nope.js) succeeded")
+	}
+}
+
+func TestMustSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSource did not panic")
+		}
+	}()
+	MustSource("missing.js")
+}
+
+func TestSLOCCounting(t *testing.T) {
+	src := `// comment
+var a = 1;
+
+/* block
+   comment */
+var b = 2; // trailing comment counts as code
+/* inline */
+`
+	if got := SLOC(src); got != 2 {
+		t.Errorf("SLOC = %d, want 2", got)
+	}
+	if SLOC("") != 0 {
+		t.Error("SLOC(empty) != 0")
+	}
+}
+
+// Table 2 sanity: the localization app is an order of magnitude ~200 SLOC
+// with clustering.js dominating, and RogueFinder is tiny. We do not chase
+// exact line counts, but the relative shape must match the paper.
+func TestTable2Shape(t *testing.T) {
+	sloc := func(name string) int { return SLOC(MustSource(name)) }
+	scan, clus, col := sloc("scan.js"), sloc("clustering.js"), sloc("collect.js")
+	rogue, rcol := sloc("roguefinder.js"), sloc("roguefinder-collect.js")
+
+	if clus <= scan || clus <= col {
+		t.Errorf("clustering.js (%d) must dominate scan.js (%d) and collect.js (%d)", clus, scan, col)
+	}
+	total := scan + clus + col
+	if total < 120 || total > 320 {
+		t.Errorf("localization app SLOC = %d, want the paper's order (214)", total)
+	}
+	rtotal := rogue + rcol
+	if rtotal < 20 || rtotal > 60 {
+		t.Errorf("RogueFinder SLOC = %d, want the paper's order (32)", rtotal)
+	}
+	if rcol >= 10 {
+		t.Errorf("roguefinder-collect.js = %d SLOC, paper has 5", rcol)
+	}
+}
+
+func TestScriptsAreValidJS(t *testing.T) {
+	// Parsing is exercised in the parent package's tests too, but a quick
+	// brace-balance sanity check here catches broken embeds early.
+	for _, name := range Names() {
+		src := MustSource(name)
+		if strings.Count(src, "{") != strings.Count(src, "}") {
+			t.Errorf("%s: unbalanced braces", name)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pogo/internal/msg"
+)
+
+// Value is a PogoScript runtime value: nil (null), Undefined, bool, float64,
+// string, *Object, *Array, *Function, or *Builtin.
+type Value = any
+
+// UndefinedType is the type of the Undefined singleton.
+type UndefinedType struct{}
+
+// Undefined is JavaScript's `undefined`.
+var Undefined = UndefinedType{}
+
+// Object is a script object with insertion-ordered keys, which keeps for-in
+// iteration deterministic across runs.
+type Object struct {
+	keys  []string
+	props map[string]Value
+}
+
+// NewObject returns an empty object.
+func NewObject() *Object {
+	return &Object{props: make(map[string]Value)}
+}
+
+// Get returns a property and whether it exists.
+func (o *Object) Get(key string) (Value, bool) {
+	v, ok := o.props[key]
+	return v, ok
+}
+
+// Set stores a property, preserving first-insertion order.
+func (o *Object) Set(key string, v Value) {
+	if _, ok := o.props[key]; !ok {
+		o.keys = append(o.keys, key)
+	}
+	o.props[key] = v
+}
+
+// Delete removes a property.
+func (o *Object) Delete(key string) {
+	if _, ok := o.props[key]; !ok {
+		return
+	}
+	delete(o.props, key)
+	for i, k := range o.keys {
+		if k == key {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// Keys returns the property names in insertion order.
+func (o *Object) Keys() []string {
+	out := make([]string, len(o.keys))
+	copy(out, o.keys)
+	return out
+}
+
+// Len returns the number of properties.
+func (o *Object) Len() int { return len(o.keys) }
+
+// Array is a script array.
+type Array struct {
+	elems []Value
+}
+
+// NewArray returns an array wrapping elems (not copied).
+func NewArray(elems ...Value) *Array { return &Array{elems: elems} }
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.elems) }
+
+// At returns element i, or Undefined out of range.
+func (a *Array) At(i int) Value {
+	if i < 0 || i >= len(a.elems) {
+		return Undefined
+	}
+	return a.elems[i]
+}
+
+// SetAt stores element i, growing the array with Undefined as needed.
+func (a *Array) SetAt(i int, v Value) {
+	for len(a.elems) <= i {
+		a.elems = append(a.elems, Undefined)
+	}
+	a.elems[i] = v
+}
+
+// Function is a script-defined function closing over its environment.
+type Function struct {
+	name   string
+	params []string
+	body   *blockStmt
+	env    *scope
+}
+
+// Builtin is a host-provided function. this is the receiver for method-style
+// calls (may be Undefined).
+type Builtin struct {
+	name string
+	fn   func(in *interp, this Value, args []Value) (Value, error)
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch v.(type) {
+	case UndefinedType:
+		return "undefined"
+	case nil:
+		return "object" // JS: typeof null === "object"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Function, *Builtin:
+		return "function"
+	default:
+		return "object"
+	}
+}
+
+// Truthy implements JavaScript truthiness.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil, UndefinedType:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// ToString converts a value to its string form (JS semantics, approximately).
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case UndefinedType:
+		return "undefined"
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		return formatNumber(x)
+	case string:
+		return x
+	case *Array:
+		parts := make([]string, len(x.elems))
+		for i, e := range x.elems {
+			if e == nil || e == Value(Undefined) {
+				parts[i] = ""
+			} else {
+				parts[i] = ToString(e)
+			}
+		}
+		return strings.Join(parts, ",")
+	case *Object:
+		return "[object Object]"
+	case *Function:
+		return "function " + x.name + "() {...}"
+	case *Builtin:
+		return "function " + x.name + "() {[native]}"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// formatNumber renders a float64 the way JavaScript does for common cases.
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e21:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// ToNumber coerces a value to a number (JS-ish; objects give NaN).
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case UndefinedType:
+		return math.NaN()
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case float64:
+		return x
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	default:
+		return math.NaN()
+	}
+}
+
+// ToMsg converts a script value into the msg domain for publication.
+// Function-valued properties are skipped (like JSON.stringify). Undefined
+// becomes nil.
+func ToMsg(v Value) (msg.Value, error) {
+	return toMsgDepth(v, 0)
+}
+
+func toMsgDepth(v Value, depth int) (msg.Value, error) {
+	if depth > 64 {
+		return nil, fmt.Errorf("script: value nesting too deep (cycle?)")
+	}
+	switch x := v.(type) {
+	case nil, UndefinedType:
+		return nil, nil
+	case bool, float64, string:
+		return x, nil
+	case *Array:
+		out := make([]msg.Value, 0, len(x.elems))
+		for _, e := range x.elems {
+			switch e.(type) {
+			case *Function, *Builtin:
+				out = append(out, nil)
+				continue
+			}
+			m, err := toMsgDepth(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+		return out, nil
+	case *Object:
+		out := make(msg.Map, len(x.keys))
+		for _, k := range x.keys {
+			e := x.props[k]
+			switch e.(type) {
+			case *Function, *Builtin:
+				continue
+			}
+			m, err := toMsgDepth(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = m
+		}
+		return out, nil
+	case *Function, *Builtin:
+		return nil, fmt.Errorf("script: cannot serialize a function")
+	default:
+		return nil, fmt.Errorf("script: cannot serialize %T", v)
+	}
+}
+
+// FromMsg converts a msg-domain value into script values. Map keys are
+// materialized in sorted order for determinism.
+func FromMsg(v msg.Value) Value {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case bool, float64, string:
+		return x
+	case []msg.Value:
+		elems := make([]Value, len(x))
+		for i, e := range x {
+			elems[i] = FromMsg(e)
+		}
+		return NewArray(elems...)
+	case msg.Map:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		o := NewObject()
+		for _, k := range keys {
+			o.Set(k, FromMsg(x[k]))
+		}
+		return o
+	default:
+		return Undefined
+	}
+}
+
+// looseEquals implements the == operator for the supported value domain.
+func looseEquals(a, b Value) bool {
+	// null == undefined (and themselves).
+	aNil := a == nil || a == Value(Undefined)
+	bNil := b == nil || b == Value(Undefined)
+	if aNil || bNil {
+		return aNil && bNil
+	}
+	switch x := a.(type) {
+	case bool:
+		return looseEquals(boolToNum(x), b)
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return x == y
+		case string:
+			return x == ToNumber(y)
+		case bool:
+			return x == ToNumber(y)
+		}
+		return false
+	case string:
+		switch y := b.(type) {
+		case string:
+			return x == y
+		case float64, bool:
+			return ToNumber(x) == ToNumber(y)
+		}
+		return false
+	default:
+		if _, ok := b.(bool); ok {
+			return looseEquals(a, boolToNum(b.(bool)))
+		}
+		return a == b // reference equality for objects/arrays/functions
+	}
+}
+
+func boolToNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// strictEquals implements ===.
+func strictEquals(a, b Value) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case UndefinedType:
+		_, ok := b.(UndefinedType)
+		return ok
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	default:
+		return a == b // reference equality
+	}
+}

@@ -1,0 +1,274 @@
+// Package sensors implements Pogo's sensor manager and the sensors used in
+// the paper's experiments.
+//
+// Sensors live inside a sensor manager (§4.2) and publish to — and query
+// subscriptions from — all script contexts on the node. A sensor observes
+// the set of active subscriptions on its channel across every context: when
+// nobody listens it shuts down entirely, and otherwise it samples at the
+// highest rate any subscriber requested via the {interval: ms} subscription
+// parameter (§3.5, §4.3), so two experiments requesting Wi-Fi scans share a
+// single scan schedule.
+package sensors
+
+import (
+	"sync"
+	"time"
+
+	"pogo/internal/msg"
+	"pogo/internal/pubsub"
+	"pogo/internal/sched"
+	"pogo/internal/vclock"
+)
+
+// Sensor is a unit managed by the Manager. Reconfigure is called whenever
+// the subscription picture may have changed; implementations query the
+// manager for demand and adjust their sampling. Close releases resources.
+type Sensor interface {
+	Channel() string
+	Reconfigure()
+	Close()
+}
+
+// Manager connects sensors to the brokers of every context on the node.
+type Manager struct {
+	sched *sched.Scheduler
+
+	mu       sync.Mutex
+	brokers  map[*pubsub.Broker]func() // broker → watcher cancel
+	sensors  []Sensor
+	byChan   map[string][]Sensor
+	closed   bool
+	onChange func(channel string)
+}
+
+// NewManager returns an empty manager using the given scheduler for all
+// sensor sampling work.
+func NewManager(s *sched.Scheduler) *Manager {
+	return &Manager{
+		sched:   s,
+		brokers: make(map[*pubsub.Broker]func()),
+		byChan:  make(map[string][]Sensor),
+	}
+}
+
+// Scheduler returns the manager's scheduler; sensors use it so sampling
+// holds wake locks correctly.
+func (m *Manager) Scheduler() *sched.Scheduler { return m.sched }
+
+// Clock returns the scheduler's clock.
+func (m *Manager) Clock() vclock.Clock { return m.sched.Clock() }
+
+// Register adds a sensor and immediately reconfigures it against current
+// demand.
+func (m *Manager) Register(s Sensor) {
+	m.mu.Lock()
+	m.sensors = append(m.sensors, s)
+	m.byChan[s.Channel()] = append(m.byChan[s.Channel()], s)
+	m.mu.Unlock()
+	s.Reconfigure()
+}
+
+// AddBroker attaches a context's broker: sensor output will be published to
+// it, and its subscriptions count as demand.
+func (m *Manager) AddBroker(b *pubsub.Broker) {
+	cancel := b.OnSubscriptionChange("", m.channelChanged)
+	m.mu.Lock()
+	m.brokers[b] = cancel
+	m.mu.Unlock()
+	m.reconfigureAll()
+}
+
+// RemoveBroker detaches a context's broker (context torn down).
+func (m *Manager) RemoveBroker(b *pubsub.Broker) {
+	m.mu.Lock()
+	cancel, ok := m.brokers[b]
+	delete(m.brokers, b)
+	m.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	m.reconfigureAll()
+}
+
+func (m *Manager) channelChanged(channel string) {
+	m.mu.Lock()
+	sensors := make([]Sensor, len(m.byChan[channel]))
+	copy(sensors, m.byChan[channel])
+	m.mu.Unlock()
+	for _, s := range sensors {
+		s.Reconfigure()
+	}
+}
+
+func (m *Manager) reconfigureAll() {
+	m.mu.Lock()
+	sensors := make([]Sensor, len(m.sensors))
+	copy(sensors, m.sensors)
+	m.mu.Unlock()
+	for _, s := range sensors {
+		s.Reconfigure()
+	}
+}
+
+// Publish delivers a sensor message to every attached broker.
+func (m *Manager) Publish(channel string, message msg.Map) {
+	m.mu.Lock()
+	brokers := make([]*pubsub.Broker, 0, len(m.brokers))
+	for b := range m.brokers {
+		brokers = append(brokers, b)
+	}
+	m.mu.Unlock()
+	for _, b := range brokers {
+		b.Publish(channel, message)
+	}
+}
+
+// Subscriptions aggregates the active subscriptions on a channel across all
+// attached brokers.
+func (m *Manager) Subscriptions(channel string) []pubsub.SubscriptionInfo {
+	m.mu.Lock()
+	brokers := make([]*pubsub.Broker, 0, len(m.brokers))
+	for b := range m.brokers {
+		brokers = append(brokers, b)
+	}
+	m.mu.Unlock()
+	var out []pubsub.SubscriptionInfo
+	for _, b := range brokers {
+		out = append(out, b.Subscriptions(channel)...)
+	}
+	return out
+}
+
+// Close shuts down every sensor and detaches all brokers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sensors := m.sensors
+	m.sensors = nil
+	cancels := make([]func(), 0, len(m.brokers))
+	for _, c := range m.brokers {
+		cancels = append(cancels, c)
+	}
+	m.brokers = map[*pubsub.Broker]func(){}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	for _, s := range sensors {
+		s.Close()
+	}
+}
+
+// DemandInterval inspects the active subscriptions on channel and returns
+// the effective sampling interval: the minimum requested {interval} across
+// subscribers (fallback def for subscribers with no interval parameter),
+// clamped below by min. The boolean reports whether there is any demand.
+func (m *Manager) DemandInterval(channel string, def, min time.Duration) (time.Duration, bool) {
+	subs := m.Subscriptions(channel)
+	if len(subs) == 0 {
+		return 0, false
+	}
+	best := time.Duration(0)
+	for _, s := range subs {
+		iv := def
+		if ms, ok := msg.GetNumber(s.Params, "interval"); ok && ms > 0 {
+			iv = time.Duration(ms) * time.Millisecond
+		}
+		if best == 0 || iv < best {
+			best = iv
+		}
+	}
+	if best < min {
+		best = min
+	}
+	return best, true
+}
+
+// periodicCore provides the shared start/stop/interval machinery of sampling
+// sensors. Embedding types supply the sample function and channel.
+type periodicCore struct {
+	mgr      *Manager
+	channel  string
+	def, min time.Duration
+	sample   func()
+
+	mu       sync.Mutex
+	interval time.Duration
+	stop     func()
+	closed   bool
+	samples  int
+}
+
+func (p *periodicCore) Channel() string { return p.channel }
+
+// Reconfigure starts, stops, or re-periods the sampling loop based on
+// current demand.
+func (p *periodicCore) Reconfigure() {
+	iv, want := p.mgr.DemandInterval(p.channel, p.def, p.min)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if !want {
+		if p.stop != nil {
+			p.stop()
+			p.stop = nil
+			p.interval = 0
+		}
+		return
+	}
+	if p.stop != nil && p.interval == iv {
+		return // already running at the right rate
+	}
+	if p.stop != nil {
+		p.stop()
+	}
+	p.interval = iv
+	p.stop = p.mgr.Scheduler().Every(iv, p.channel, func() {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.samples++
+		p.mu.Unlock()
+		p.sample()
+	})
+}
+
+// Active reports whether the sensor is currently sampling.
+func (p *periodicCore) Active() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stop != nil
+}
+
+// Interval returns the current sampling interval (0 when inactive).
+func (p *periodicCore) Interval() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.interval
+}
+
+// Samples returns how many samples have been taken.
+func (p *periodicCore) Samples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// Close stops sampling permanently.
+func (p *periodicCore) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.stop != nil {
+		p.stop()
+		p.stop = nil
+	}
+}

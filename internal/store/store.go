@@ -1,0 +1,308 @@
+// Package store implements Pogo's durable message outbox (§4.6 of the
+// paper).
+//
+// Messages destined for a remote node are not sent immediately: they are
+// buffered so transmissions can be batched into another application's 3G
+// tail, and they must survive a reboot or battery death. The paper uses an
+// embedded SQL database; this implementation uses an append-only JSON-lines
+// log with replay recovery and periodic compaction, which provides the same
+// durability semantics with only the standard library.
+//
+// The outbox also implements the message-ageing policy that bit users 2a
+// and 3 in the deployment (§5.3): entries older than a configurable maximum
+// age are purged, connectivity or not.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxAge is the deployment's purge threshold: messages older than 24
+// hours are dropped.
+const DefaultMaxAge = 24 * time.Hour
+
+// Entry is one buffered outbound message.
+type Entry struct {
+	ID uint64 `json:"id"`
+	// To is the destination peer (bare JID user) the message is addressed
+	// to; device messages go to their collector and vice versa.
+	To         string `json:"to"`
+	Channel    string `json:"ch"`
+	Payload    []byte `json:"payload"`
+	EnqueuedAt int64  `json:"at"` // UnixMilli
+}
+
+// Enqueued returns the entry's enqueue instant.
+func (e Entry) Enqueued() time.Time { return time.UnixMilli(e.EnqueuedAt).UTC() }
+
+// record is one log line.
+type record struct {
+	Op string `json:"op"` // "add" or "del"
+	Entry
+}
+
+// ErrClosed is returned by operations on a closed outbox.
+var ErrClosed = errors.New("store: outbox closed")
+
+// Outbox is a durable FIFO of outbound messages. The zero value is not
+// usable; construct with Open or OpenMemory. All methods are goroutine-safe.
+type Outbox struct {
+	mu      sync.Mutex
+	path    string // "" for memory-only
+	file    *os.File
+	w       *bufio.Writer
+	entries map[uint64]Entry
+	nextID  uint64
+	dead    int // deleted records still in the log (compaction trigger)
+	closed  bool
+}
+
+// OpenMemory returns a volatile outbox (no file); used where durability is
+// not under test.
+func OpenMemory() *Outbox {
+	return &Outbox{entries: make(map[uint64]Entry), nextID: 1}
+}
+
+// Open opens (creating if absent) a durable outbox backed by the log file at
+// path, replaying any existing records.
+func Open(path string) (*Outbox, error) {
+	o := &Outbox{path: path, entries: make(map[uint64]Entry), nextID: 1}
+	if err := o.replay(); err != nil {
+		return nil, fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	o.file = f
+	o.w = bufio.NewWriter(f)
+	return o, nil
+}
+
+// replay loads the log into memory. Truncated/corrupt trailing lines (a
+// crash mid-write) are tolerated: parsing stops at the first bad line.
+func (o *Outbox) replay() error {
+	f, err := os.Open(o.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail write; ignore the rest
+		}
+		switch rec.Op {
+		case "add":
+			o.entries[rec.ID] = rec.Entry
+			if rec.ID >= o.nextID {
+				o.nextID = rec.ID + 1
+			}
+		case "del":
+			if _, ok := o.entries[rec.ID]; ok {
+				delete(o.entries, rec.ID)
+			}
+			o.dead++
+		}
+	}
+	return sc.Err()
+}
+
+// Add buffers a message addressed to peer `to`, returning its ID. at is the
+// enqueue instant (the node's clock, so simulated runs age messages in
+// simulated time).
+func (o *Outbox) Add(to, channel string, payload []byte, at time.Time) (uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrClosed
+	}
+	e := Entry{
+		ID:         o.nextID,
+		To:         to,
+		Channel:    channel,
+		Payload:    append([]byte(nil), payload...),
+		EnqueuedAt: at.UnixMilli(),
+	}
+	o.nextID++
+	if err := o.appendLocked(record{Op: "add", Entry: e}); err != nil {
+		return 0, err
+	}
+	o.entries[e.ID] = e
+	return e.ID, nil
+}
+
+// Ack removes delivered messages by ID. Unknown IDs are ignored.
+func (o *Outbox) Ack(ids ...uint64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	for _, id := range ids {
+		if _, ok := o.entries[id]; !ok {
+			continue
+		}
+		if err := o.appendLocked(record{Op: "del", Entry: Entry{ID: id}}); err != nil {
+			return err
+		}
+		delete(o.entries, id)
+		o.dead++
+	}
+	return o.maybeCompactLocked()
+}
+
+// Pending returns all buffered entries in ID (FIFO) order.
+func (o *Outbox) Pending() []Entry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Entry, 0, len(o.entries))
+	for _, e := range o.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of buffered entries.
+func (o *Outbox) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.entries)
+}
+
+// PurgeExpired drops entries enqueued more than maxAge before now and
+// returns how many were dropped. maxAge ≤ 0 means no purging.
+func (o *Outbox) PurgeExpired(now time.Time, maxAge time.Duration) (int, error) {
+	if maxAge <= 0 {
+		return 0, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrClosed
+	}
+	cutoff := now.Add(-maxAge).UnixMilli()
+	dropped := 0
+	for id, e := range o.entries {
+		if e.EnqueuedAt < cutoff {
+			if err := o.appendLocked(record{Op: "del", Entry: Entry{ID: id}}); err != nil {
+				return dropped, err
+			}
+			delete(o.entries, id)
+			o.dead++
+			dropped++
+		}
+	}
+	if err := o.maybeCompactLocked(); err != nil {
+		return dropped, err
+	}
+	return dropped, nil
+}
+
+// Close flushes and closes the log file. The outbox rejects further writes.
+func (o *Outbox) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	if o.file == nil {
+		return nil
+	}
+	if err := o.w.Flush(); err != nil {
+		o.file.Close()
+		return err
+	}
+	return o.file.Close()
+}
+
+func (o *Outbox) appendLocked(rec record) error {
+	if o.file == nil {
+		return nil // memory-only
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := o.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	// Flush per record: the paper's durability requirement is surviving a
+	// reboot, so records must reach the OS promptly.
+	return o.w.Flush()
+}
+
+// maybeCompactLocked rewrites the log when dead records dominate.
+func (o *Outbox) maybeCompactLocked() error {
+	if o.file == nil || o.dead < 64 || o.dead < 4*len(o.entries) {
+		return nil
+	}
+	return o.compactLocked()
+}
+
+func (o *Outbox) compactLocked() error {
+	tmp := o.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	ids := make([]uint64, 0, len(o.entries))
+	for id := range o.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b, err := json.Marshal(record{Op: "add", Entry: o.entries[id]})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := o.w.Flush(); err != nil {
+		return err
+	}
+	if err := o.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, o.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(o.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	o.file = nf
+	o.w = bufio.NewWriter(nf)
+	o.dead = 0
+	return nil
+}

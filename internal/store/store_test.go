@@ -1,0 +1,295 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pogo/internal/vclock"
+)
+
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func openTemp(t *testing.T) (*Outbox, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "outbox.log")
+	o, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, path
+}
+
+func TestAddPendingAckFIFO(t *testing.T) {
+	o, _ := openTemp(t)
+	defer o.Close()
+	now := vclock.SimEpoch
+	for i := 0; i < 3; i++ {
+		if _, err := o.Add("collector", "clusters", []byte(fmt.Sprintf(`{"i":%d}`, i)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := o.Pending()
+	if len(p) != 3 {
+		t.Fatalf("Pending = %d", len(p))
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].ID <= p[i-1].ID {
+			t.Error("not FIFO ordered")
+		}
+	}
+	if err := o.Ack(p[0].ID, p[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 1 {
+		t.Errorf("Len = %d after ack", o.Len())
+	}
+	if got := o.Pending()[0].Payload; string(got) != `{"i":2}` {
+		t.Errorf("remaining payload = %s", got)
+	}
+}
+
+func TestAckUnknownIDIgnored(t *testing.T) {
+	o, _ := openTemp(t)
+	defer o.Close()
+	if err := o.Ack(999); err != nil {
+		t.Errorf("Ack(unknown) = %v", err)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	o := OpenMemory()
+	buf := []byte("hello")
+	o.Add("c", "ch", buf, vclock.SimEpoch)
+	buf[0] = 'X'
+	if string(o.Pending()[0].Payload) != "hello" {
+		t.Error("payload aliases caller's buffer")
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	o, path := openTemp(t)
+	now := vclock.SimEpoch
+	id1, _ := o.Add("c", "a", []byte("one"), now)
+	id2, _ := o.Add("c", "b", []byte("two"), now.Add(time.Second))
+	o.Ack(id1)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": reopen from the same log.
+	o2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	p := o2.Pending()
+	if len(p) != 1 || p[0].ID != id2 || string(p[0].Payload) != "two" {
+		t.Fatalf("recovered = %+v", p)
+	}
+	if !p[0].Enqueued().Equal(now.Add(time.Second)) {
+		t.Errorf("Enqueued = %v", p[0].Enqueued())
+	}
+	// IDs must not be reused after recovery.
+	id3, _ := o2.Add("c", "c", []byte("three"), now)
+	if id3 <= id2 {
+		t.Errorf("id3 = %d not beyond %d", id3, id2)
+	}
+}
+
+func TestRecoveryToleratesTornTail(t *testing.T) {
+	o, path := openTemp(t)
+	o.Add("c", "a", []byte("one"), vclock.SimEpoch)
+	o.Close()
+	// Simulate a crash mid-write: append garbage.
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"add","id":2,"ch":"b","pay`)
+	f.Close()
+
+	o2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	if o2.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (torn record dropped)", o2.Len())
+	}
+}
+
+func TestPurgeExpired(t *testing.T) {
+	o, _ := openTemp(t)
+	defer o.Close()
+	t0 := vclock.SimEpoch
+	o.Add("c", "old", []byte("x"), t0)
+	o.Add("c", "new", []byte("y"), t0.Add(23*time.Hour))
+	dropped, err := o.PurgeExpired(t0.Add(25*time.Hour), DefaultMaxAge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	p := o.Pending()
+	if len(p) != 1 || p[0].Channel != "new" {
+		t.Errorf("Pending = %+v", p)
+	}
+	// maxAge <= 0 disables purging.
+	if d, _ := o.PurgeExpired(t0.Add(1000*time.Hour), 0); d != 0 {
+		t.Errorf("purge with maxAge=0 dropped %d", d)
+	}
+}
+
+func TestPurgeRoamingScenario(t *testing.T) {
+	// User 2a: abroad with data roaming off for 3 days while sampling
+	// hourly; everything older than 24 h is lost.
+	o := OpenMemory()
+	t0 := vclock.SimEpoch
+	for h := 0; h < 72; h++ {
+		o.Add("col", "clusters", []byte("c"), t0.Add(time.Duration(h)*time.Hour))
+	}
+	now := t0.Add(72 * time.Hour)
+	dropped, _ := o.PurgeExpired(now, DefaultMaxAge)
+	if dropped != 48 {
+		t.Errorf("dropped = %d, want 48", dropped)
+	}
+	if o.Len() != 24 {
+		t.Errorf("Len = %d, want 24", o.Len())
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	o, _ := openTemp(t)
+	o.Close()
+	if err := o.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	if _, err := o.Add("c", "a", nil, vclock.SimEpoch); err != ErrClosed {
+		t.Errorf("Add after close = %v", err)
+	}
+	if err := o.Ack(1); err != ErrClosed {
+		t.Errorf("Ack after close = %v", err)
+	}
+	if _, err := o.PurgeExpired(vclock.SimEpoch, time.Hour); err != ErrClosed {
+		t.Errorf("Purge after close = %v", err)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	o, path := openTemp(t)
+	now := vclock.SimEpoch
+	var ids []uint64
+	for i := 0; i < 300; i++ {
+		id, _ := o.Add("c", "ch", []byte("payload-padding-padding"), now)
+		ids = append(ids, id)
+	}
+	o.Ack(ids[:290]...)
+	sizeBefore := fileSize(t, path)
+	// Compaction triggered inside Ack; log should now hold ~10 adds.
+	if o.Len() != 10 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	o.Close()
+	o2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	if o2.Len() != 10 {
+		t.Errorf("recovered Len = %d after compaction", o2.Len())
+	}
+	if sizeBefore > 10*1024 {
+		t.Errorf("log size %d suggests compaction never ran", sizeBefore)
+	}
+}
+
+func TestMemoryOutboxNoFiles(t *testing.T) {
+	o := OpenMemory()
+	defer o.Close()
+	id, err := o.Add("c", "ch", []byte("x"), vclock.SimEpoch)
+	if err != nil || id != 1 {
+		t.Fatalf("Add = %d, %v", id, err)
+	}
+	if o.Len() != 1 {
+		t.Error("memory outbox lost entry")
+	}
+}
+
+// Property: for any interleaving of adds and acks, Pending = added − acked,
+// in FIFO order, and survives a reopen.
+func TestPropertyAddAckRecover(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			ops := make([]bool, 5+r.Intn(60)) // true=add, false=ack-oldest
+			for i := range ops {
+				ops[i] = r.Intn(3) > 0
+			}
+			args[0] = reflect.ValueOf(ops)
+		},
+	}
+	dir := t.TempDir()
+	run := 0
+	prop := func(ops []bool) bool {
+		run++
+		path := filepath.Join(dir, fmt.Sprintf("box-%d.log", run))
+		o, err := Open(path)
+		if err != nil {
+			return false
+		}
+		var live []uint64
+		for _, add := range ops {
+			if add {
+				id, err := o.Add("c", "ch", []byte("p"), vclock.SimEpoch)
+				if err != nil {
+					return false
+				}
+				live = append(live, id)
+			} else if len(live) > 0 {
+				if err := o.Ack(live[0]); err != nil {
+					return false
+				}
+				live = live[1:]
+			}
+		}
+		if err := o.Close(); err != nil {
+			return false
+		}
+		o2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer o2.Close()
+		p := o2.Pending()
+		if len(p) != len(live) {
+			return false
+		}
+		for i := range p {
+			if p[i].ID != live[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

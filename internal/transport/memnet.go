@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pogo/internal/radio"
+	"pogo/internal/vclock"
+)
+
+// Switchboard is the in-memory equivalent of the XMPP server, used by the
+// simulated experiments. Routing honours rosters and presence exactly like
+// the real server; deliveries to and from simulated phones traverse their
+// radio links, so transport costs energy and drives the tail detector.
+type Switchboard struct {
+	clk vclock.Clock
+
+	mu      sync.Mutex
+	ports   map[string]*Port
+	rosters map[string]map[string]bool
+	dropped int
+	// WireLatency delays deliveries between wired (connectivity-less)
+	// ports; default 5 ms.
+	wireLatency time.Duration
+}
+
+// NewSwitchboard returns an empty switchboard on the given clock.
+func NewSwitchboard(clk vclock.Clock) *Switchboard {
+	return &Switchboard{
+		clk:         clk,
+		ports:       make(map[string]*Port),
+		rosters:     make(map[string]map[string]bool),
+		wireLatency: 5 * time.Millisecond,
+	}
+}
+
+// Associate links two identities in each other's rosters (the testbed
+// administrator's assignment act).
+func (s *Switchboard) Associate(a, b string) {
+	s.mu.Lock()
+	if s.rosters[a] == nil {
+		s.rosters[a] = make(map[string]bool)
+	}
+	if s.rosters[b] == nil {
+		s.rosters[b] = make(map[string]bool)
+	}
+	s.rosters[a][b] = true
+	s.rosters[b][a] = true
+	pa, pb := s.ports[a], s.ports[b]
+	s.mu.Unlock()
+	// Freshly associated online peers learn about each other.
+	if pa != nil && pb != nil {
+		if pa.Online() {
+			pb.notifyPresence(a, true)
+		}
+		if pb.Online() {
+			pa.notifyPresence(b, true)
+		}
+	}
+}
+
+// Dropped returns how many payloads the switchboard discarded (recipient
+// offline or unknown).
+func (s *Switchboard) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Port creates (and registers) this identity's attachment point. conn may
+// be nil for wired nodes (collectors, always online, no energy modeling).
+// A second Port call for the same id replaces the first (a "reinstall").
+func (s *Switchboard) Port(id string, conn *radio.Connectivity) *Port {
+	p := &Port{sb: s, id: id, conn: conn}
+	if conn != nil {
+		conn.OnChange(func(old, new radio.Interface) {
+			p.connectivityChanged(new != radio.InterfaceNone)
+		})
+	}
+	s.mu.Lock()
+	s.ports[id] = p
+	s.mu.Unlock()
+	if p.Online() {
+		s.broadcastPresence(id, true)
+	}
+	return p
+}
+
+// broadcastPresence notifies id's online roster peers of its state change.
+func (s *Switchboard) broadcastPresence(id string, online bool) {
+	s.mu.Lock()
+	var peers []*Port
+	for peer := range s.rosters[id] {
+		if pp := s.ports[peer]; pp != nil && pp.Online() {
+			peers = append(peers, pp)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
+	for _, pp := range peers {
+		pp.notifyPresence(id, online)
+	}
+}
+
+// route delivers payload to the recipient, through its radio downlink when
+// it has one. Drops silently when the target is missing or offline.
+func (s *Switchboard) route(from, to string, payload []byte) {
+	s.mu.Lock()
+	target := s.ports[to]
+	allowed := s.rosters[from][to]
+	if target == nil || !allowed || !target.Online() {
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	target.deliver(from, payload)
+}
+
+// Port is one node's attachment to the switchboard, implementing Messenger.
+type Port struct {
+	sb   *Switchboard
+	id   string
+	conn *radio.Connectivity // nil for wired nodes
+
+	mu         sync.Mutex
+	closed     bool
+	onReceive  func(from string, payload []byte)
+	onOnline   []func()
+	onPresence []func(peer string, online bool)
+}
+
+var _ Messenger = (*Port)(nil)
+
+// LocalID implements Messenger.
+func (p *Port) LocalID() string { return p.id }
+
+// Online implements Messenger. Wired ports are always online.
+func (p *Port) Online() bool {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return false
+	}
+	return p.conn == nil || p.conn.Online()
+}
+
+// Send implements Messenger: uplink through the active radio (costing
+// energy and moving traffic counters), then switchboard routing.
+func (p *Port) Send(to string, payload []byte) error {
+	if !p.Online() {
+		return ErrOffline
+	}
+	body := append([]byte(nil), payload...)
+	if p.conn == nil {
+		p.sb.clk.AfterFunc(p.sb.wireLatency, func() {
+			p.sb.route(p.id, to, body)
+		})
+		return nil
+	}
+	link := p.conn.Link()
+	if link == nil {
+		return ErrOffline
+	}
+	link.Transfer(int64(len(body)), 0, func() {
+		p.sb.route(p.id, to, body)
+	})
+	return nil
+}
+
+// deliver runs the payload through the node's downlink and hands it to the
+// receive handler.
+func (p *Port) deliver(from string, payload []byte) {
+	handoff := func() {
+		p.mu.Lock()
+		fn := p.onReceive
+		closed := p.closed
+		p.mu.Unlock()
+		if fn != nil && !closed {
+			fn(from, payload)
+		}
+	}
+	if p.conn == nil {
+		handoff()
+		return
+	}
+	link := p.conn.Link()
+	if link == nil {
+		p.sb.mu.Lock()
+		p.sb.dropped++
+		p.sb.mu.Unlock()
+		return
+	}
+	link.Transfer(0, int64(len(payload)), handoff)
+}
+
+// OnReceive implements Messenger.
+func (p *Port) OnReceive(fn func(from string, payload []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onReceive = fn
+}
+
+// OnOnline implements Messenger.
+func (p *Port) OnOnline(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onOnline = append(p.onOnline, fn)
+}
+
+// OnPresence implements Messenger.
+func (p *Port) OnPresence(fn func(peer string, online bool)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onPresence = append(p.onPresence, fn)
+}
+
+// Peers implements Messenger.
+func (p *Port) Peers() []string {
+	p.sb.mu.Lock()
+	defer p.sb.mu.Unlock()
+	out := make([]string, 0, len(p.sb.rosters[p.id]))
+	for peer := range p.sb.rosters[p.id] {
+		out = append(out, peer)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close detaches the port; peers see it go offline.
+func (p *Port) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.sb.mu.Lock()
+	if p.sb.ports[p.id] == p {
+		delete(p.sb.ports, p.id)
+	}
+	p.sb.mu.Unlock()
+	p.sb.broadcastPresence(p.id, false)
+}
+
+func (p *Port) connectivityChanged(online bool) {
+	p.mu.Lock()
+	closed := p.closed
+	handlers := make([]func(), len(p.onOnline))
+	copy(handlers, p.onOnline)
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	p.sb.broadcastPresence(p.id, online)
+	if online {
+		for _, fn := range handlers {
+			fn()
+		}
+	}
+}
+
+func (p *Port) notifyPresence(peer string, online bool) {
+	p.mu.Lock()
+	handlers := make([]func(string, bool), len(p.onPresence))
+	copy(handlers, p.onPresence)
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, fn := range handlers {
+		fn(peer, online)
+	}
+}

@@ -1,0 +1,342 @@
+// Package transport implements Pogo's reliable message layer on top of the
+// best-effort XMPP switchboard (§4.6 of the paper).
+//
+// XMPP loses messages when phones hop between wireless interfaces, so Pogo
+// implements its own end-to-end acknowledgements. Outbound messages are
+// buffered in a durable outbox (internal/store) and flushed in batches —
+// either on a timer, or opportunistically inside another application's 3G
+// tail (internal/tail). The receiver deduplicates retransmissions and acks
+// every batch; the sender removes entries from its outbox only when acked.
+//
+// Two Messenger implementations are provided: a real XMPP client adapter
+// (xmppnet.go) used by the cmd/ binaries, and an in-memory switchboard
+// (memnet.go) whose deliveries traverse the simulated radios — so every
+// byte a simulated device sends or receives costs modem energy and moves
+// the traffic counters the tail detector watches.
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pogo/internal/msg"
+	"pogo/internal/store"
+	"pogo/internal/vclock"
+)
+
+// ErrOffline reports that no network interface is currently active.
+var ErrOffline = errors.New("transport: offline")
+
+// Messenger is the unreliable, switchboard-routed datagram layer beneath an
+// Endpoint. Send may silently lose payloads (recipient offline, TCP session
+// gone stale); reliability lives in the Endpoint.
+type Messenger interface {
+	// LocalID returns this node's identity (the XMPP user name).
+	LocalID() string
+	// Online reports whether a network interface is currently active.
+	Online() bool
+	// Send transmits payload to peer `to`. It returns ErrOffline when no
+	// interface is active; otherwise delivery is best-effort.
+	Send(to string, payload []byte) error
+	// OnReceive registers the single inbound payload handler.
+	OnReceive(fn func(from string, payload []byte))
+	// OnOnline registers a handler invoked whenever connectivity is
+	// (re-)established — Pogo reconnects and flushes on interface changes.
+	OnOnline(fn func())
+	// OnPresence registers a handler for roster peers appearing and
+	// disappearing.
+	OnPresence(fn func(peer string, online bool))
+	// Peers returns the roster: the peers this node may exchange messages
+	// with.
+	Peers() []string
+}
+
+// envelope is the JSON wire format of one switchboard payload: a batch of
+// data messages and/or a set of acknowledgements.
+type envelope struct {
+	From string `json:"from"`
+	// Boot identifies the sender's process lifetime. Message IDs restart
+	// after a reboot (fresh outbox), so the receiver resets its dedup state
+	// for the sender whenever Boot changes.
+	Boot  string         `json:"boot,omitempty"`
+	Batch []envelopeItem `json:"batch,omitempty"`
+	Ack   []uint64       `json:"ack,omitempty"`
+}
+
+type envelopeItem struct {
+	ID      uint64          `json:"id"`
+	Channel string          `json:"ch"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// Stats counts an endpoint's transport activity.
+type Stats struct {
+	MessagesEnqueued int
+	MessagesSent     int // data messages handed to the messenger (incl. retransmits)
+	MessagesAcked    int
+	MessagesExpired  int // purged by the max-age policy
+	MessagesReceived int // deduplicated deliveries to the application
+	Duplicates       int
+	BytesSent        int64
+	Flushes          int
+}
+
+// EndpointConfig configures an Endpoint.
+type EndpointConfig struct {
+	// MaxAge drops buffered messages older than this (0 disables; the
+	// deployment used store.DefaultMaxAge = 24 h).
+	MaxAge time.Duration
+	// RetryAfter is how long a sent-but-unacked entry waits before being
+	// eligible for retransmission. Default 30 s.
+	RetryAfter time.Duration
+	// BootID identifies this process lifetime; defaults to the clock's
+	// construction instant. After a reboot (new Endpoint, possibly a fresh
+	// outbox with restarting IDs) peers reset their dedup state for us.
+	BootID string
+}
+
+// Endpoint is the reliable batching layer of one node. The zero value is
+// not usable; construct with NewEndpoint. All methods are goroutine-safe.
+type Endpoint struct {
+	m   Messenger
+	clk vclock.Clock
+	box *store.Outbox
+	cfg EndpointConfig
+
+	mu        sync.Mutex
+	onMessage func(from, channel string, payload msg.Value)
+	onWire    func(sentBytes, recvBytes int64)
+	seen      map[string]map[uint64]bool
+	boots     map[string]string // peer → last seen boot id
+	inflight  map[uint64]time.Time
+	stats     Stats
+}
+
+// NewEndpoint wires a reliable endpoint over messenger m with outbox box.
+// It registers itself as m's receive handler.
+func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointConfig) *Endpoint {
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = 30 * time.Second
+	}
+	if cfg.BootID == "" {
+		cfg.BootID = strconv.FormatInt(clk.Now().UnixNano(), 36)
+	}
+	e := &Endpoint{
+		m:        m,
+		clk:      clk,
+		box:      box,
+		cfg:      cfg,
+		seen:     make(map[string]map[uint64]bool),
+		boots:    make(map[string]string),
+		inflight: make(map[uint64]time.Time),
+	}
+	m.OnReceive(e.receive)
+	return e
+}
+
+// Messenger returns the underlying messenger.
+func (e *Endpoint) Messenger() Messenger { return e.m }
+
+// OnMessage sets the handler for deduplicated application messages.
+func (e *Endpoint) OnMessage(fn func(from, channel string, payload msg.Value)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onMessage = fn
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Pending returns the number of buffered, unacknowledged messages.
+func (e *Endpoint) Pending() int { return e.box.Len() }
+
+// OnWire registers an observer of the endpoint's own wire traffic (payload
+// bytes handed to / received from the messenger). The tail detector uses it
+// to discount Pogo's own transmissions from the traffic counters.
+func (e *Endpoint) OnWire(fn func(sentBytes, recvBytes int64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onWire = fn
+}
+
+func (e *Endpoint) notifyWire(sent, recv int64) {
+	e.mu.Lock()
+	fn := e.onWire
+	e.mu.Unlock()
+	if fn != nil {
+		fn(sent, recv)
+	}
+}
+
+// Enqueue buffers a message for peer `to` on the given channel. The message
+// is durable (subject to MaxAge) until acknowledged; call Flush — or attach
+// a flush policy in core — to move it.
+func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
+	b, err := msg.EncodeJSON(payload)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if _, err := e.box.Add(to, channel, b, e.clk.Now()); err != nil {
+		return fmt.Errorf("transport: enqueue: %w", err)
+	}
+	e.mu.Lock()
+	e.stats.MessagesEnqueued++
+	e.mu.Unlock()
+	return nil
+}
+
+// Flush attempts delivery of every eligible buffered message, batched into
+// one envelope per destination. It returns the number of data messages
+// handed to the messenger.
+func (e *Endpoint) Flush() int {
+	now := e.clk.Now()
+	if dropped, err := e.box.PurgeExpired(now, e.cfg.MaxAge); err == nil && dropped > 0 {
+		e.mu.Lock()
+		e.stats.MessagesExpired += dropped
+		e.mu.Unlock()
+	}
+	if !e.m.Online() {
+		return 0
+	}
+	pending := e.box.Pending()
+	byDest := make(map[string][]store.Entry)
+	var dests []string
+	e.mu.Lock()
+	for _, entry := range pending {
+		if sentAt, ok := e.inflight[entry.ID]; ok && now.Sub(sentAt) < e.cfg.RetryAfter {
+			continue
+		}
+		if len(byDest[entry.To]) == 0 {
+			dests = append(dests, entry.To)
+		}
+		byDest[entry.To] = append(byDest[entry.To], entry)
+	}
+	e.stats.Flushes++
+	e.mu.Unlock()
+	sort.Strings(dests)
+
+	sent := 0
+	for _, dest := range dests {
+		entries := byDest[dest]
+		env := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID}
+		for _, entry := range entries {
+			env.Batch = append(env.Batch, envelopeItem{
+				ID:      entry.ID,
+				Channel: entry.Channel,
+				Body:    json.RawMessage(entry.Payload),
+			})
+		}
+		b, err := json.Marshal(env)
+		if err != nil {
+			continue
+		}
+		if err := e.m.Send(dest, b); err != nil {
+			continue
+		}
+		e.notifyWire(int64(len(b)), 0)
+		e.mu.Lock()
+		for _, entry := range entries {
+			e.inflight[entry.ID] = now
+		}
+		e.stats.MessagesSent += len(entries)
+		e.stats.BytesSent += int64(len(b))
+		e.mu.Unlock()
+		sent += len(entries)
+	}
+	return sent
+}
+
+// receive handles an inbound envelope: apply acks, deliver new data
+// messages, and ack the batch.
+func (e *Endpoint) receive(from string, payload []byte) {
+	e.notifyWire(0, int64(len(payload)))
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return // corrupt payload: drop, sender will retransmit
+	}
+	if len(env.Ack) > 0 {
+		e.box.Ack(env.Ack...)
+		e.mu.Lock()
+		for _, id := range env.Ack {
+			delete(e.inflight, id)
+		}
+		e.stats.MessagesAcked += len(env.Ack)
+		e.mu.Unlock()
+	}
+	if len(env.Batch) == 0 {
+		return
+	}
+	sender := env.From
+	if sender == "" {
+		sender = from
+	}
+
+	var fresh []envelopeItem
+	ackIDs := make([]uint64, 0, len(env.Batch))
+	e.mu.Lock()
+	if env.Boot != "" && e.boots[sender] != env.Boot {
+		// The peer rebooted: its message IDs restarted, so our dedup
+		// history for it is stale.
+		e.boots[sender] = env.Boot
+		delete(e.seen, sender)
+	}
+	seen := e.seen[sender]
+	if seen == nil {
+		seen = make(map[uint64]bool)
+		e.seen[sender] = seen
+	}
+	for _, item := range env.Batch {
+		ackIDs = append(ackIDs, item.ID)
+		if seen[item.ID] {
+			e.stats.Duplicates++
+			continue
+		}
+		seen[item.ID] = true
+		fresh = append(fresh, item)
+	}
+	e.stats.MessagesReceived += len(fresh)
+	// Bound the dedup memory: forget the oldest half above a cap. A peer
+	// retransmitting something this old would be re-delivered; acceptable
+	// for at-least-once semantics.
+	if len(seen) > 8192 {
+		ids := make([]uint64, 0, len(seen))
+		for id := range seen {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids[:len(ids)/2] {
+			delete(seen, id)
+		}
+	}
+	handler := e.onMessage
+	e.mu.Unlock()
+
+	// Ack immediately; acks are fire-and-forget (a lost ack means a
+	// retransmission, which dedup absorbs).
+	ackEnv := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID, Ack: ackIDs}
+	if b, err := json.Marshal(ackEnv); err == nil {
+		if e.m.Send(sender, b) == nil {
+			e.notifyWire(int64(len(b)), 0)
+		}
+	}
+
+	if handler == nil {
+		return
+	}
+	for _, item := range fresh {
+		v, err := msg.DecodeJSON(item.Body)
+		if err != nil {
+			continue
+		}
+		handler(sender, item.Channel, v)
+	}
+}

@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/energy"
+	"pogo/internal/msg"
+	"pogo/internal/radio"
+	"pogo/internal/store"
+	"pogo/internal/vclock"
+)
+
+// simNode bundles one simulated phone's network stack.
+type simNode struct {
+	id    string
+	meter *energy.Meter
+	dev   *android.Device
+	modem *radio.Modem
+	conn  *radio.Connectivity
+	port  *Port
+	ep    *Endpoint
+}
+
+func newSimNode(t *testing.T, clk *vclock.Sim, sb *Switchboard, id string) *simNode {
+	t.Helper()
+	meter := energy.NewMeter(clk)
+	dev := android.NewDevice(clk, meter, android.Config{})
+	modem := radio.NewModem(clk, meter, radio.KPN)
+	conn := radio.NewConnectivity(modem, nil)
+	port := sb.Port(id, conn)
+	ep := NewEndpoint(port, store.OpenMemory(), clk, EndpointConfig{MaxAge: store.DefaultMaxAge})
+	return &simNode{id: id, meter: meter, dev: dev, modem: modem, conn: conn, port: port, ep: ep}
+}
+
+func newWiredNode(t *testing.T, clk *vclock.Sim, sb *Switchboard, id string) *Endpoint {
+	t.Helper()
+	port := sb.Port(id, nil)
+	return NewEndpoint(port, store.OpenMemory(), clk, EndpointConfig{})
+}
+
+type received struct {
+	from, channel string
+	payload       msg.Value
+}
+
+func collect(ep *Endpoint) *[]received {
+	var got []received
+	ep.OnMessage(func(from, channel string, payload msg.Value) {
+		got = append(got, received{from, channel, payload})
+	})
+	return &got
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	col := newWiredNode(t, clk, sb, "col")
+	got := collect(col)
+
+	dev.ep.Enqueue("col", "clusters", msg.Map{"place": "home", "n": 42.0})
+	if dev.ep.Pending() != 1 {
+		t.Fatalf("Pending = %d", dev.ep.Pending())
+	}
+	dev.ep.Flush()
+	clk.Advance(time.Minute)
+
+	if len(*got) != 1 {
+		t.Fatalf("received %d messages", len(*got))
+	}
+	r := (*got)[0]
+	if r.from != "dev1" || r.channel != "clusters" {
+		t.Errorf("got %+v", r)
+	}
+	if !msg.Equal(r.payload, msg.Map{"place": "home", "n": 42.0}) {
+		t.Errorf("payload = %v", r.payload)
+	}
+	// Ack must clear the outbox.
+	if dev.ep.Pending() != 0 {
+		t.Errorf("Pending = %d after ack", dev.ep.Pending())
+	}
+	st := dev.ep.Stats()
+	if st.MessagesAcked != 1 || st.MessagesSent != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBatchingOneEnvelopePerDest(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	col := newWiredNode(t, clk, sb, "col")
+	got := collect(col)
+
+	for i := 0; i < 5; i++ {
+		dev.ep.Enqueue("col", "battery", msg.Map{"i": float64(i)})
+	}
+	sent := dev.ep.Flush()
+	if sent != 5 {
+		t.Fatalf("Flush sent %d", sent)
+	}
+	clk.Advance(time.Minute)
+	if len(*got) != 5 {
+		t.Fatalf("received %d", len(*got))
+	}
+	// A single modem transfer carried all five (plus tail): one ramp-up.
+	if st := dev.modem.Stats(); st.TxBytes == 0 {
+		t.Error("no uplink bytes recorded")
+	}
+}
+
+func TestOfflineBufferingAndReconnectFlush(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	col := newWiredNode(t, clk, sb, "col")
+	got := collect(col)
+
+	// Connectivity-driven flush, as core wires it.
+	dev.port.OnOnline(func() { dev.ep.Flush() })
+
+	dev.conn.SetActive(radio.InterfaceNone)
+	dev.ep.Enqueue("col", "clusters", msg.Map{"x": 1.0})
+	if n := dev.ep.Flush(); n != 0 {
+		t.Fatalf("Flush while offline sent %d", n)
+	}
+	clk.Advance(time.Hour)
+	if len(*got) != 0 {
+		t.Fatal("message delivered while offline")
+	}
+	dev.conn.SetActive(radio.InterfaceCellular) // triggers OnOnline → Flush
+	clk.Advance(time.Minute)
+	if len(*got) != 1 {
+		t.Fatalf("received %d after reconnect", len(*got))
+	}
+}
+
+func TestMaxAgePurge(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	newWiredNode(t, clk, sb, "col")
+
+	dev.conn.SetActive(radio.InterfaceNone) // roaming, data off
+	dev.ep.Enqueue("col", "clusters", msg.Map{"old": true})
+	clk.Advance(25 * time.Hour)
+	dev.ep.Enqueue("col", "clusters", msg.Map{"old": false})
+	dev.ep.Flush() // purge happens even though offline
+	if dev.ep.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (old one purged)", dev.ep.Pending())
+	}
+	if st := dev.ep.Stats(); st.MessagesExpired != 1 {
+		t.Errorf("MessagesExpired = %d", st.MessagesExpired)
+	}
+}
+
+func TestRetransmitUntilAcked(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+
+	// Collector not attached yet: switchboard drops the first send.
+	dev.ep.Enqueue("col", "clusters", msg.Map{"x": 1.0})
+	dev.ep.Flush()
+	clk.Advance(10 * time.Second) // transfer completes, delivery dropped
+	if dev.ep.Pending() != 1 {
+		t.Fatal("entry lost despite no ack")
+	}
+	if sb.Dropped() == 0 {
+		t.Error("switchboard should have dropped the orphan send")
+	}
+
+	// Within RetryAfter (30 s default) the entry is not re-sent.
+	if n := dev.ep.Flush(); n != 0 {
+		t.Errorf("retransmitted %d before RetryAfter", n)
+	}
+	// After RetryAfter and with the collector online, retry succeeds.
+	col := newWiredNode(t, clk, sb, "col")
+	got := collect(col)
+	clk.Advance(time.Minute)
+	if n := dev.ep.Flush(); n != 1 {
+		t.Fatalf("retry sent %d", n)
+	}
+	clk.Advance(time.Minute)
+	if len(*got) != 1 || dev.ep.Pending() != 0 {
+		t.Errorf("got=%d pending=%d", len(*got), dev.ep.Pending())
+	}
+}
+
+func TestReceiverDeduplicates(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	col := newWiredNode(t, clk, sb, "col")
+	got := collect(col)
+
+	dev.ep.Enqueue("col", "ch", msg.Map{"v": 1.0})
+	dev.ep.Flush()
+	// Force a duplicate send before the ack lands by flushing twice with a
+	// tiny retry window.
+	dev.ep.cfg.RetryAfter = 0
+	dev.ep.Flush()
+	clk.Advance(time.Minute)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1 after dedup", len(*got))
+	}
+	if st := col.Stats(); st.Duplicates != 1 {
+		t.Errorf("Duplicates = %d", st.Duplicates)
+	}
+}
+
+func TestTransportCostsEnergyAndMovesCounters(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	dev := newSimNode(t, clk, sb, "dev1")
+	newWiredNode(t, clk, sb, "col")
+
+	clk.Advance(10 * time.Second)
+	e0 := dev.meter.Energy()
+	tx0 := dev.modem.Stats().TxBytes
+	dev.ep.Enqueue("col", "ch", msg.Map{"v": 1.0})
+	dev.ep.Flush()
+	clk.Advance(5 * time.Minute)
+	if dev.meter.Energy()-e0 < 1 {
+		t.Errorf("energy delta = %v J; a 3G tail costs joules", dev.meter.Energy()-e0)
+	}
+	if dev.modem.Stats().TxBytes == tx0 {
+		t.Error("tx counters did not move")
+	}
+	// The collector's ack arrives as downlink bytes.
+	if dev.modem.Stats().RxBytes == 0 {
+		t.Error("ack did not traverse the device downlink")
+	}
+}
+
+func TestPresenceOnPortAndConnectivity(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("dev1", "col")
+	colPort := sb.Port("col", nil)
+	var events []string
+	colPort.OnPresence(func(peer string, online bool) {
+		if online {
+			events = append(events, peer+"+")
+		} else {
+			events = append(events, peer+"-")
+		}
+	})
+	dev := newSimNode(t, clk, sb, "dev1")
+	dev.conn.SetActive(radio.InterfaceNone)
+	dev.conn.SetActive(radio.InterfaceCellular)
+	dev.port.Close()
+	dev.port.Close() // idempotent
+	want := []string{"dev1+", "dev1-", "dev1+", "dev1-"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
+func TestAssociateAfterPortsOnline(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	a := sb.Port("a", nil)
+	sb.Port("b", nil)
+	var sawB bool
+	a.OnPresence(func(peer string, online bool) {
+		if peer == "b" && online {
+			sawB = true
+		}
+	})
+	sb.Associate("a", "b")
+	if !sawB {
+		t.Error("late association did not announce presence")
+	}
+	if peers := a.Peers(); len(peers) != 1 || peers[0] != "b" {
+		t.Errorf("Peers = %v", peers)
+	}
+}
+
+func TestUnassociatedSendDropped(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	a := sb.Port("a", nil)
+	b := sb.Port("b", nil)
+	var got int
+	b.OnReceive(func(string, []byte) { got++ })
+	a.Send("b", []byte(`{"from":"a"}`))
+	clk.Advance(time.Second)
+	if got != 0 {
+		t.Error("unassociated delivery happened")
+	}
+	if sb.Dropped() != 1 {
+		t.Errorf("Dropped = %d", sb.Dropped())
+	}
+}
+
+func TestEnqueueRejectsUnsupportedPayload(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	ep := newWiredNode(t, clk, sb, "x")
+	if err := ep.Enqueue("y", "ch", make(chan int)); err == nil {
+		t.Error("unsupported payload accepted")
+	}
+}
+
+func TestCorruptPayloadIgnored(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("a", "b")
+	a := sb.Port("a", nil)
+	bEp := newWiredNode(t, clk, sb, "b")
+	got := collect(bEp)
+	a.Send("b", []byte("not json"))
+	clk.Advance(time.Second)
+	if len(*got) != 0 {
+		t.Error("corrupt envelope delivered")
+	}
+}
+
+func TestWiredLatency(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("a", "b")
+	aEp := newWiredNode(t, clk, sb, "a")
+	bEp := newWiredNode(t, clk, sb, "b")
+	got := collect(bEp)
+	aEp.Enqueue("b", "ch", msg.Map{"v": 1.0})
+	aEp.Flush()
+	if len(*got) != 0 {
+		t.Error("delivered synchronously; want wire latency")
+	}
+	clk.Advance(10 * time.Millisecond)
+	if len(*got) != 1 {
+		t.Errorf("delivered %d after latency", len(*got))
+	}
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"pogo/internal/xmpp"
+)
+
+// XMPPMessenger adapts an xmpp.Client to the Messenger interface, adding the
+// automatic reconnection the paper describes (§4.6: Pogo detects interface
+// changes and reconnects; stale sessions are displaced server-side).
+type XMPPMessenger struct {
+	addr, user, pass, resource string
+
+	mu         sync.Mutex
+	client     *xmpp.Client
+	closed     bool
+	online     bool
+	peers      map[string]bool
+	onReceive  func(from string, payload []byte)
+	onOnline   []func()
+	onPresence []func(peer string, online bool)
+	nextID     int
+	wg         sync.WaitGroup
+}
+
+var _ Messenger = (*XMPPMessenger)(nil)
+
+// DialXMPP connects to the switchboard and returns a reconnecting messenger.
+func DialXMPP(addr, user, pass, resource string) (*XMPPMessenger, error) {
+	m := &XMPPMessenger{
+		addr: addr, user: user, pass: pass, resource: resource,
+		peers: make(map[string]bool),
+	}
+	if err := m.connect(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *XMPPMessenger) connect() error {
+	c, err := xmpp.Dial(m.addr, m.user, m.pass, m.resource)
+	if err != nil {
+		return err
+	}
+	c.OnMessage(func(from xmpp.JID, _, body string) {
+		m.mu.Lock()
+		fn := m.onReceive
+		m.mu.Unlock()
+		if fn != nil {
+			fn(from.User(), []byte(body))
+		}
+	})
+	c.OnPresence(func(peer xmpp.JID, online bool) {
+		m.mu.Lock()
+		handlers := make([]func(string, bool), len(m.onPresence))
+		copy(handlers, m.onPresence)
+		m.mu.Unlock()
+		for _, fn := range handlers {
+			fn(peer.User(), online)
+		}
+	})
+	c.OnDisconnect(func(error) {
+		m.mu.Lock()
+		m.online = false
+		closed := m.closed
+		if !closed {
+			m.wg.Add(1)
+			go m.reconnectLoop()
+		}
+		m.mu.Unlock()
+	})
+
+	m.mu.Lock()
+	m.client = c
+	wasOnline := m.online
+	m.online = true
+	handlers := make([]func(), len(m.onOnline))
+	copy(handlers, m.onOnline)
+	m.mu.Unlock()
+
+	if roster, err := c.Roster(); err == nil {
+		m.mu.Lock()
+		for _, j := range roster {
+			m.peers[j.User()] = true
+		}
+		m.mu.Unlock()
+	}
+	if !wasOnline {
+		for _, fn := range handlers {
+			fn()
+		}
+	}
+	return nil
+}
+
+func (m *XMPPMessenger) reconnectLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := m.connect(); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+// LocalID implements Messenger.
+func (m *XMPPMessenger) LocalID() string { return m.user }
+
+// Online implements Messenger.
+func (m *XMPPMessenger) Online() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.online && !m.closed
+}
+
+// Send implements Messenger.
+func (m *XMPPMessenger) Send(to string, payload []byte) error {
+	m.mu.Lock()
+	c := m.client
+	online := m.online && !m.closed
+	m.nextID++
+	id := strconv.Itoa(m.nextID)
+	m.mu.Unlock()
+	if !online || c == nil {
+		return ErrOffline
+	}
+	return c.SendMessage(xmpp.MakeJID(to), id, string(payload))
+}
+
+// OnReceive implements Messenger.
+func (m *XMPPMessenger) OnReceive(fn func(from string, payload []byte)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onReceive = fn
+}
+
+// OnOnline implements Messenger.
+func (m *XMPPMessenger) OnOnline(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onOnline = append(m.onOnline, fn)
+}
+
+// OnPresence implements Messenger.
+func (m *XMPPMessenger) OnPresence(fn func(peer string, online bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onPresence = append(m.onPresence, fn)
+}
+
+// Peers implements Messenger (the roster fetched at connect time).
+func (m *XMPPMessenger) Peers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Close disconnects permanently.
+func (m *XMPPMessenger) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	c := m.client
+	m.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pogo/internal/msg"
+	"pogo/internal/store"
+	"pogo/internal/vclock"
+	"pogo/internal/xmpp"
+)
+
+// These tests exercise the full reliable-transport stack over a real TCP
+// XMPP server: Endpoint → XMPPMessenger → xmpp.Client → xmpp.Server.
+
+func startXMPP(t *testing.T) *xmpp.Server {
+	t.Helper()
+	s := xmpp.NewServer(xmpp.ServerConfig{AllowAutoRegister: true})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestEndpointOverRealXMPP(t *testing.T) {
+	srv := startXMPP(t)
+	srv.Associate("device", "collector")
+
+	devM, err := DialXMPP(srv.Addr(), "device", "pw", "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devM.Close()
+	colM, err := DialXMPP(srv.Addr(), "collector", "pw", "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer colM.Close()
+
+	clk := vclock.Real{}
+	devEp := NewEndpoint(devM, store.OpenMemory(), clk, EndpointConfig{})
+	colEp := NewEndpoint(colM, store.OpenMemory(), clk, EndpointConfig{})
+
+	var mu sync.Mutex
+	var got []received
+	colEp.OnMessage(func(from, channel string, payload msg.Value) {
+		mu.Lock()
+		got = append(got, received{from, channel, payload})
+		mu.Unlock()
+	})
+
+	devEp.Enqueue("collector", "battery", msg.Map{"voltage": 4.1})
+	devEp.Enqueue("collector", "battery", msg.Map{"voltage": 4.0})
+	devEp.Flush()
+
+	waitCond(t, "delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	waitCond(t, "acks", func() bool { return devEp.Pending() == 0 })
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].from != "device" || got[0].channel != "battery" {
+		t.Errorf("got[0] = %+v", got[0])
+	}
+	v, _ := msg.GetNumber(got[0].payload.(msg.Map), "voltage")
+	if v != 4.1 {
+		t.Errorf("voltage = %v", v)
+	}
+}
+
+func TestXMPPMessengerPresence(t *testing.T) {
+	srv := startXMPP(t)
+	srv.Associate("device", "collector")
+
+	colM, err := DialXMPP(srv.Addr(), "collector", "pw", "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer colM.Close()
+	var mu sync.Mutex
+	online := map[string]bool{}
+	colM.OnPresence(func(peer string, up bool) {
+		mu.Lock()
+		online[peer] = up
+		mu.Unlock()
+	})
+
+	devM, err := DialXMPP(srv.Addr(), "device", "pw", "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "device presence", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return online["device"]
+	})
+	devM.Close()
+	waitCond(t, "device offline", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return !online["device"]
+	})
+	if !colM.Online() {
+		t.Error("collector went offline")
+	}
+	if colM.LocalID() != "collector" {
+		t.Errorf("LocalID = %q", colM.LocalID())
+	}
+}
+
+func TestXMPPMessengerRoster(t *testing.T) {
+	srv := startXMPP(t)
+	srv.Associate("r", "d1")
+	srv.Associate("r", "d2")
+	m, err := DialXMPP(srv.Addr(), "r", "pw", "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	peers := m.Peers()
+	if len(peers) != 2 {
+		t.Errorf("Peers = %v", peers)
+	}
+}
+
+func TestXMPPMessengerReconnects(t *testing.T) {
+	// A phone's TCP session dies on interface handover; Pogo reconnects
+	// automatically (§4.6). Simulate by bouncing the server on a fixed port.
+	srv := xmpp.NewServer(xmpp.ServerConfig{AllowAutoRegister: true})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Associate("device", "collector")
+
+	m, err := DialXMPP(addr, "device", "pw", "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	onlineAgain := make(chan struct{}, 4)
+	m.OnOnline(func() { onlineAgain <- struct{}{} })
+
+	srv.Close() // the session dies
+	waitCond(t, "offline", func() bool { return !m.Online() })
+
+	// The network comes back: a server on the same address.
+	srv2 := xmpp.NewServer(xmpp.ServerConfig{Addr: addr, AllowAutoRegister: true})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := srv2.Start(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind server address")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	select {
+	case <-onlineAgain:
+	case <-time.After(15 * time.Second):
+		t.Fatal("messenger never reconnected")
+	}
+	waitCond(t, "online", func() bool { return m.Online() })
+	waitCond(t, "session live server-side", func() bool { return srv2.Online("device") })
+}
+
+func TestXMPPMessengerOfflineSend(t *testing.T) {
+	srv := startXMPP(t)
+	m, err := DialXMPP(srv.Addr(), "u", "pw", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := m.Send("x", []byte("hi")); err != ErrOffline {
+		t.Errorf("Send after close = %v, want ErrOffline", err)
+	}
+	if m.Online() {
+		t.Error("Online after Close")
+	}
+}

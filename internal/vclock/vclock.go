@@ -1,0 +1,255 @@
+// Package vclock abstracts time so that the entire Pogo stack can run either
+// in real time (the cmd/ binaries) or in deterministic discrete-event
+// simulated time (tests and the paper's experiments, which cover hours to
+// weeks of virtual time).
+//
+// Every component below internal/core takes a Clock. The simulated clock is
+// single-threaded by design: callbacks fired by Advance/Run run on the
+// calling goroutine in strict timestamp order, which makes experiment runs
+// reproducible bit-for-bit.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout Pogo.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// AfterFunc schedules f to run after d. f runs on an unspecified
+	// goroutine for the real clock and on the Advance/Run caller's goroutine
+	// for the simulated clock.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle for a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the callback. It reports whether the call was prevented
+	// from running.
+	Stop() bool
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Sim is a deterministic discrete-event simulated clock.
+//
+// The zero value is not usable; construct with NewSim. Callbacks scheduled
+// with AfterFunc run when the simulation is advanced past their due time, in
+// (time, insertion) order, on the goroutine calling Advance/Run/Step.
+// Callbacks may schedule further callbacks, including at the current instant.
+type Sim struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+}
+
+var _ Clock = (*Sim)(nil)
+
+// SimEpoch is the default start instant for simulated clocks.
+var SimEpoch = time.Date(2012, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// NewSim returns a simulated clock starting at SimEpoch.
+func NewSim() *Sim { return NewSimAt(SimEpoch) }
+
+// NewSimAt returns a simulated clock starting at the given instant.
+func NewSimAt(start time.Time) *Sim { return &Sim{now: start} }
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock. A non-positive delay schedules the callback at
+// the current instant; it will still only run once the simulation advances
+// (or Step is called).
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{at: s.now.Add(d), seq: s.seq, fn: f}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &simTimer{sim: s, ev: ev}
+}
+
+// Advance moves simulated time forward by d, running every due callback in
+// order. It returns the number of callbacks run.
+func (s *Sim) Advance(d time.Duration) int {
+	s.mu.Lock()
+	deadline := s.now.Add(d)
+	s.mu.Unlock()
+	return s.RunUntil(deadline)
+}
+
+// RunUntil runs callbacks due at or before deadline, advancing the clock to
+// each event's timestamp, then sets the clock to deadline. It returns the
+// number of callbacks run.
+func (s *Sim) RunUntil(deadline time.Time) int {
+	ran := 0
+	for {
+		fn, ok := s.popDue(deadline)
+		if !ok {
+			break
+		}
+		fn()
+		ran++
+	}
+	s.mu.Lock()
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	s.mu.Unlock()
+	return ran
+}
+
+// Step runs the single next pending callback (advancing the clock to its due
+// time) and reports whether one existed.
+func (s *Sim) Step() bool {
+	fn, ok := s.popDue(time.Time{})
+	if !ok {
+		return false
+	}
+	fn()
+	return true
+}
+
+// Run drains the event queue completely, with a safety cap on the number of
+// callbacks to avoid runaway self-rescheduling loops. It returns the number
+// of callbacks run.
+func (s *Sim) Run(maxEvents int) int {
+	ran := 0
+	for ran < maxEvents && s.Step() {
+		ran++
+	}
+	return ran
+}
+
+// Pending returns the number of scheduled, uncancelled callbacks.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// NextEventAt returns the due time of the earliest pending callback, and
+// false when the queue is empty.
+func (s *Sim) NextEventAt() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) > 0 && s.queue[0].stopped {
+		heap.Pop(&s.queue)
+	}
+	if len(s.queue) == 0 {
+		return time.Time{}, false
+	}
+	return s.queue[0].at, true
+}
+
+// popDue removes and returns the earliest event. When deadline is non-zero,
+// only events due at or before it qualify. The clock advances to the event's
+// timestamp.
+func (s *Sim) popDue(deadline time.Time) (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if !deadline.IsZero() && ev.at.After(deadline) {
+			return nil, false
+		}
+		heap.Pop(&s.queue)
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		return ev.fn, true
+	}
+	return nil, false
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+type simTimer struct {
+	sim *Sim
+	ev  *event
+}
+
+func (t *simTimer) Stop() bool {
+	t.sim.mu.Lock()
+	defer t.sim.mu.Unlock()
+	if t.ev.stopped {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

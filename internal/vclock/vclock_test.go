@@ -1,0 +1,208 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(SimEpoch) {
+		t.Errorf("Now = %v, want %v", s.Now(), SimEpoch)
+	}
+}
+
+func TestSimAdvanceRunsDueCallbacks(t *testing.T) {
+	s := NewSim()
+	var fired []time.Time
+	s.AfterFunc(10*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.AfterFunc(20*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.AfterFunc(30*time.Millisecond, func() { fired = append(fired, s.Now()) })
+
+	if n := s.Advance(25 * time.Millisecond); n != 2 {
+		t.Fatalf("Advance ran %d callbacks, want 2", n)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d, want 2", len(fired))
+	}
+	if !fired[0].Equal(SimEpoch.Add(10 * time.Millisecond)) {
+		t.Errorf("first callback at %v", fired[0])
+	}
+	if !s.Now().Equal(SimEpoch.Add(25 * time.Millisecond)) {
+		t.Errorf("clock at %v after Advance", s.Now())
+	}
+	if n := s.Advance(5 * time.Millisecond); n != 1 {
+		t.Errorf("second Advance ran %d, want 1", n)
+	}
+}
+
+func TestSimOrderingSameInstant(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	s.Advance(time.Second)
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("order = %v, want insertion order", order)
+	}
+}
+
+func TestSimZeroAndNegativeDelay(t *testing.T) {
+	s := NewSim()
+	ran := 0
+	s.AfterFunc(0, func() { ran++ })
+	s.AfterFunc(-time.Hour, func() { ran++ })
+	if ran != 0 {
+		t.Fatal("callbacks ran before advancing")
+	}
+	s.Advance(0)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim()
+	ran := false
+	tm := s.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("first Stop = false, want true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop = true, want false")
+	}
+	s.Advance(2 * time.Second)
+	if ran {
+		t.Error("stopped callback ran")
+	}
+}
+
+func TestSimCallbackSchedulesCallback(t *testing.T) {
+	s := NewSim()
+	var hits []time.Duration
+	var tick func()
+	tick = func() {
+		hits = append(hits, s.Now().Sub(SimEpoch))
+		if len(hits) < 3 {
+			s.AfterFunc(time.Minute, tick)
+		}
+	}
+	s.AfterFunc(time.Minute, tick)
+	s.Advance(time.Hour)
+	want := []time.Duration{time.Minute, 2 * time.Minute, 3 * time.Minute}
+	if !reflect.DeepEqual(hits, want) {
+		t.Errorf("hits = %v, want %v", hits, want)
+	}
+}
+
+func TestSimStepAndPending(t *testing.T) {
+	s := NewSim()
+	ran := 0
+	s.AfterFunc(time.Second, func() { ran++ })
+	s.AfterFunc(2*time.Second, func() { ran++ })
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	if at, ok := s.NextEventAt(); !ok || !at.Equal(SimEpoch.Add(time.Second)) {
+		t.Errorf("NextEventAt = %v, %v", at, ok)
+	}
+	if !s.Step() {
+		t.Fatal("Step = false with pending events")
+	}
+	if ran != 1 || !s.Now().Equal(SimEpoch.Add(time.Second)) {
+		t.Errorf("after Step: ran=%d now=%v", ran, s.Now())
+	}
+	if !s.Step() || s.Step() {
+		t.Error("Step sequence wrong")
+	}
+}
+
+func TestSimRunCap(t *testing.T) {
+	s := NewSim()
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		s.AfterFunc(time.Millisecond, loop)
+	}
+	s.AfterFunc(time.Millisecond, loop)
+	ran := s.Run(100)
+	if ran != 100 || n != 100 {
+		t.Errorf("Run = %d, n = %d, want 100", ran, n)
+	}
+}
+
+func TestSimNextEventSkipsStopped(t *testing.T) {
+	s := NewSim()
+	tm := s.AfterFunc(time.Second, func() {})
+	s.AfterFunc(2*time.Second, func() {})
+	tm.Stop()
+	if at, ok := s.NextEventAt(); !ok || !at.Equal(SimEpoch.Add(2*time.Second)) {
+		t.Errorf("NextEventAt = %v, %v; want 2s event", at, ok)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := Real{}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if time.Since(c.Now()) > time.Minute {
+		t.Error("Real.Now far from time.Now")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	c := Real{}
+	tm := c.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Error("Stop = false")
+	}
+}
+
+// Property: callbacks always fire in nondecreasing timestamp order regardless
+// of the order they were scheduled in.
+func TestPropertyFiringOrder(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(20)
+			delays := make([]int64, n)
+			for i := range delays {
+				delays[i] = int64(r.Intn(1000))
+			}
+			args[0] = reflect.ValueOf(delays)
+		},
+	}
+	prop := func(delays []int64) bool {
+		s := NewSim()
+		var fired []time.Time
+		for _, d := range delays {
+			s.AfterFunc(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		s.Advance(2 * time.Second)
+		if len(fired) != len(delays) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i].Before(fired[j]) })
+		return sorted
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package xmpp
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a Pogo node's connection to the switchboard server. The zero
+// value is not usable; construct with Dial. Incoming stanzas are dispatched
+// on a dedicated reader goroutine; handlers must not block for long.
+type Client struct {
+	jid  JID
+	conn net.Conn
+	// dec is set during the handshake; afterwards only the reader goroutine
+	// touches it.
+	dec *xml.Decoder
+
+	writeMu sync.Mutex
+
+	mu           sync.Mutex
+	closed       bool
+	err          error
+	onMessage    func(from JID, id, body string)
+	onError      func(id, reason string)
+	onPresence   func(peer JID, available bool)
+	onDisconnect func(err error)
+	rosterWait   map[string]chan []JID
+	nextIQ       int
+
+	done chan struct{}
+}
+
+// Dial connects, authenticates, and starts the reader. resource defaults to
+// "pogo".
+func Dial(addr, user, password, resource string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("xmpp: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:       conn,
+		rosterWait: make(map[string]chan []JID),
+		done:       make(chan struct{}),
+	}
+	if err := c.handshake(user, password, resource); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) handshake(user, password, resource string) error {
+	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write([]byte(`<stream to="` + Domain + `">` + "\n")); err != nil {
+		return fmt.Errorf("xmpp: stream open: %w", err)
+	}
+	dec := xml.NewDecoder(c.conn)
+	var hdr streamHeader
+	if err := expectElement(dec, "stream", &hdr); err != nil {
+		return fmt.Errorf("xmpp: server stream: %w", err)
+	}
+	if err := c.write(authStanza{User: user, Password: password, Resource: resource}); err != nil {
+		return err
+	}
+	tok, err := nextStart(dec)
+	if err != nil {
+		return fmt.Errorf("xmpp: auth response: %w", err)
+	}
+	switch tok.Name.Local {
+	case "success":
+		var s successStanza
+		if err := dec.DecodeElement(&s, &tok); err != nil {
+			return err
+		}
+		c.jid = JID(s.JID)
+	case "failure":
+		var f failureStanza
+		if err := dec.DecodeElement(&f, &tok); err != nil {
+			return err
+		}
+		return fmt.Errorf("xmpp: auth failed: %s", f.Reason)
+	default:
+		return fmt.Errorf("xmpp: unexpected <%s> during auth", tok.Name.Local)
+	}
+	c.dec = dec
+	return nil
+}
+
+// JID returns the bound full JID.
+func (c *Client) JID() JID { return c.jid }
+
+// OnMessage sets the inbound message handler.
+func (c *Client) OnMessage(fn func(from JID, id, body string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMessage = fn
+}
+
+// OnError sets the handler for bounced messages (recipient offline or not on
+// the roster); id is the original message's id.
+func (c *Client) OnError(fn func(id, reason string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onError = fn
+}
+
+// OnPresence sets the roster-contact availability handler.
+func (c *Client) OnPresence(fn func(peer JID, available bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPresence = fn
+}
+
+// OnDisconnect sets a handler invoked once when the connection dies.
+func (c *Client) OnDisconnect(fn func(err error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDisconnect = fn
+}
+
+// SendMessage sends a message stanza. Delivery is best-effort at this layer.
+func (c *Client) SendMessage(to JID, id, body string) error {
+	return c.write(messageStanza{To: to.String(), ID: id, Body: body})
+}
+
+// Roster fetches the user's contact list from the server.
+func (c *Client) Roster() ([]JID, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("xmpp: client closed")
+	}
+	c.nextIQ++
+	id := "iq-" + strconv.Itoa(c.nextIQ)
+	ch := make(chan []JID, 1)
+	c.rosterWait[id] = ch
+	c.mu.Unlock()
+
+	if err := c.write(iqStanza{Type: "get", ID: id, Roster: &rosterQuery{}}); err != nil {
+		return nil, err
+	}
+	select {
+	case items := <-ch:
+		return items, nil
+	case <-c.done:
+		return nil, errors.New("xmpp: disconnected")
+	case <-time.After(10 * time.Second):
+		return nil, errors.New("xmpp: roster timeout")
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.write(presenceStanza{Type: "unavailable"})
+	c.conn.Close()
+	<-c.done
+}
+
+func (c *Client) write(v any) error {
+	b, err := marshalStanza(v)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err = c.conn.Write(append(b, '\n'))
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	var loopErr error
+	for {
+		tok, err := nextStart(c.dec)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		switch tok.Name.Local {
+		case "message":
+			var m messageStanza
+			if err := c.dec.DecodeElement(&m, &tok); err != nil {
+				loopErr = err
+				break
+			}
+			c.mu.Lock()
+			onMsg, onErr := c.onMessage, c.onError
+			c.mu.Unlock()
+			if m.Type == "error" {
+				if onErr != nil {
+					onErr(m.ID, m.Body)
+				}
+			} else if onMsg != nil {
+				onMsg(JID(m.From), m.ID, m.Body)
+			}
+		case "presence":
+			var p presenceStanza
+			if err := c.dec.DecodeElement(&p, &tok); err != nil {
+				loopErr = err
+				break
+			}
+			c.mu.Lock()
+			fn := c.onPresence
+			c.mu.Unlock()
+			if fn != nil {
+				fn(JID(p.From), p.Type != "unavailable")
+			}
+		case "iq":
+			var iq iqStanza
+			if err := c.dec.DecodeElement(&iq, &tok); err != nil {
+				loopErr = err
+				break
+			}
+			if iq.Type == "result" && iq.Roster != nil {
+				items := make([]JID, 0, len(iq.Roster.Items))
+				for _, it := range iq.Roster.Items {
+					items = append(items, JID(it.JID))
+				}
+				c.mu.Lock()
+				ch := c.rosterWait[iq.ID]
+				delete(c.rosterWait, iq.ID)
+				c.mu.Unlock()
+				if ch != nil {
+					ch <- items
+				}
+			}
+		default:
+			if err := c.dec.Skip(); err != nil {
+				loopErr = err
+				break
+			}
+		}
+		if loopErr != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	wasClosed := c.closed
+	c.closed = true
+	fn := c.onDisconnect
+	c.err = loopErr
+	c.mu.Unlock()
+	c.conn.Close()
+	if fn != nil && !wasClosed {
+		fn(loopErr)
+	}
+}

@@ -1,0 +1,111 @@
+package xmpp
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// rawConn dials the server without speaking the protocol.
+func rawConn(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, HandshakeTimeout: 200 * time.Millisecond})
+	for _, garbage := range []string{
+		"\x00\x01\x02\x03\xff\xfe",
+		"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+		"<not-a-stream/>",
+		"<stream><auth user='x' password", // truncated
+		"<stream>" + string(make([]byte, 64*1024)),
+	} {
+		c := rawConn(t, s)
+		c.Write([]byte(garbage))
+		// The server must drop the connection without dying.
+		buf := make([]byte, 256)
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			if _, err := c.Read(buf); err != nil {
+				break
+			}
+		}
+	}
+	// And still serve legitimate clients.
+	c := dial(t, s, "alice", "pw")
+	if c.JID().User() != "alice" {
+		t.Errorf("JID = %s", c.JID())
+	}
+}
+
+func TestServerHandshakeTimeout(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, HandshakeTimeout: 100 * time.Millisecond})
+	c := rawConn(t, s)
+	// Open the stream and then stall before auth: the server must hang up.
+	c.Write([]byte(`<stream to="pogo">`))
+	buf := make([]byte, 256)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	closed := false
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read(buf); err != nil {
+			closed = true
+			break
+		}
+	}
+	if !closed {
+		t.Error("stalled handshake not dropped")
+	}
+}
+
+func TestServerUnknownStanzaSkipped(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("a", "b")
+	a := dial(t, s, "a", "pw")
+	b := dial(t, s, "b", "pw")
+	got := make(chan string, 1)
+	b.OnMessage(func(_ JID, _, body string) { got <- body })
+
+	// Inject an unknown stanza directly, then a legitimate message: the
+	// server must skip the former and route the latter.
+	a.write(struct {
+		XMLName struct{} `xml:"weird"`
+		Data    string   `xml:"data"`
+	}{Data: "???"})
+	a.SendMessage(MakeJID("b"), "m1", "still-works")
+	select {
+	case body := <-got:
+		if body != "still-works" {
+			t.Errorf("body = %q", body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message after unknown stanza never arrived")
+	}
+}
+
+func TestClientRejectsWrongServerGreeting(t *testing.T) {
+	// A listener that answers with garbage; Dial must fail cleanly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("SMTP ready\r\n"))
+			c.Close()
+		}
+	}()
+	if _, err := Dial(ln.Addr().String(), "u", "p", "r"); err == nil {
+		t.Error("Dial accepted a non-XMPP server")
+	}
+}

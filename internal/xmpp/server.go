@@ -1,0 +1,436 @@
+package xmpp
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ServerConfig configures a switchboard server.
+type ServerConfig struct {
+	// Addr is the TCP listen address; ":0" picks a free port.
+	Addr string
+	// AllowAutoRegister creates accounts on first login — the paper's
+	// zero-registration participation model (§3.3): install and go.
+	AllowAutoRegister bool
+	// HandshakeTimeout bounds the stream-open + auth exchange. Default 10 s.
+	HandshakeTimeout time.Duration
+}
+
+// Server is the central XMPP switchboard. It only routes: all application
+// semantics live in the Pogo nodes (§3.1, "a central server acting only as a
+// communications switchboard"). The zero value is not usable; construct with
+// NewServer and call Start.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	accounts map[string]string          // user → password
+	rosters  map[string]map[string]bool // user → contact users
+	sessions map[string]*session        // user → live session (one resource per user)
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an unstarted server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	return &Server{
+		cfg:      cfg,
+		accounts: make(map[string]string),
+		rosters:  make(map[string]map[string]bool),
+		sessions: make(map[string]*session),
+	}
+}
+
+// AddAccount registers (or updates) an account.
+func (s *Server) AddAccount(user, password string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accounts[user] = password
+}
+
+// Associate links a researcher and a device owner in both rosters — the
+// administrator's broker role (§3.1): it decides which devices are assigned
+// to which researchers.
+func (s *Server) Associate(a, b string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.associateLocked(a, b)
+}
+
+func (s *Server) associateLocked(a, b string) {
+	if s.rosters[a] == nil {
+		s.rosters[a] = make(map[string]bool)
+	}
+	if s.rosters[b] == nil {
+		s.rosters[b] = make(map[string]bool)
+	}
+	s.rosters[a][b] = true
+	s.rosters[b][a] = true
+}
+
+// Dissociate removes a researcher↔device association.
+func (s *Server) Dissociate(a, b string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rosters[a], b)
+	delete(s.rosters[b], a)
+}
+
+// Roster returns a user's contacts, sorted.
+func (s *Server) Roster(user string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rosters[user]))
+	for c := range s.rosters[user] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Online reports whether a user has a live session.
+func (s *Server) Online(user string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[user] != nil
+}
+
+// Start begins listening and serving. It returns once the listener is bound.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("xmpp: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("xmpp: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and tears down all sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	var conns []net.Conn
+	for _, sess := range s.sessions {
+		conns = append(conns, sess.conn)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// session is one authenticated client connection.
+type session struct {
+	user string
+	jid  JID
+	conn net.Conn
+
+	writeMu sync.Mutex
+}
+
+func (sess *session) send(v any) error {
+	b, err := marshalStanza(v)
+	if err != nil {
+		return err
+	}
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	_, err = sess.conn.Write(append(b, '\n'))
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := xml.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+
+	// Stream open.
+	var hdr streamHeader
+	if err := expectElement(dec, "stream", &hdr); err != nil {
+		return
+	}
+	if _, err := conn.Write([]byte(`<stream from="` + Domain + `">` + "\n")); err != nil {
+		return
+	}
+
+	// Authentication.
+	var auth authStanza
+	if err := expectElement(dec, "auth", &auth); err != nil {
+		return
+	}
+	sess, failReason := s.authenticate(&auth, conn)
+	if sess == nil {
+		b, _ := marshalStanza(failureStanza{Reason: failReason})
+		conn.Write(append(b, '\n'))
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	if err := sess.send(successStanza{JID: sess.jid.String()}); err != nil {
+		s.dropSession(sess)
+		return
+	}
+	s.broadcastPresence(sess.user, true)
+	s.sendInitialPresence(sess)
+
+	defer func() {
+		s.dropSession(sess)
+		s.broadcastPresence(sess.user, false)
+	}()
+
+	// Stanza loop.
+	for {
+		tok, err := nextStart(dec)
+		if err != nil {
+			return
+		}
+		switch tok.Name.Local {
+		case "message":
+			var m messageStanza
+			if err := dec.DecodeElement(&m, &tok); err != nil {
+				return
+			}
+			s.routeMessage(sess, m)
+		case "iq":
+			var iq iqStanza
+			if err := dec.DecodeElement(&iq, &tok); err != nil {
+				return
+			}
+			s.handleIQ(sess, iq)
+		case "presence":
+			var p presenceStanza
+			if err := dec.DecodeElement(&p, &tok); err != nil {
+				return
+			}
+			// Explicit unavailable presence ends the session politely.
+			if p.Type == "unavailable" {
+				return
+			}
+		default:
+			if err := dec.Skip(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) authenticate(auth *authStanza, conn net.Conn) (*session, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "server-shutting-down"
+	}
+	pw, ok := s.accounts[auth.User]
+	switch {
+	case !ok && s.cfg.AllowAutoRegister:
+		s.accounts[auth.User] = auth.Password
+	case !ok:
+		return nil, "no-such-account"
+	case pw != auth.Password:
+		return nil, "bad-credentials"
+	}
+	if old := s.sessions[auth.User]; old != nil {
+		// Resource conflict: newest connection wins (phone reconnecting
+		// after an interface change before the server noticed the old TCP
+		// session died).
+		old.conn.Close()
+	}
+	resource := auth.Resource
+	if resource == "" {
+		resource = "pogo"
+	}
+	sess := &session{
+		user: auth.User,
+		jid:  JID(auth.User + "@" + Domain + "/" + resource),
+		conn: conn,
+	}
+	s.sessions[auth.User] = sess
+	return sess, ""
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	if s.sessions[sess.user] == sess {
+		delete(s.sessions, sess.user)
+	}
+	s.mu.Unlock()
+}
+
+// routeMessage delivers to the recipient's live session, or bounces an error
+// stanza: XMPP-level delivery is best-effort (Pogo adds end-to-end acks).
+func (s *Server) routeMessage(from *session, m messageStanza) {
+	toUser := JID(m.To).User()
+	s.mu.Lock()
+	dst := s.sessions[toUser]
+	allowed := s.rosters[from.user][toUser] || from.user == toUser
+	s.mu.Unlock()
+	m.From = from.jid.Bare().String()
+	if !allowed || dst == nil {
+		reason := "recipient-offline"
+		if !allowed {
+			reason = "not-on-roster"
+		}
+		from.send(messageStanza{
+			From: Domain, To: from.jid.String(), ID: m.ID,
+			Type: "error", Body: reason,
+		})
+		return
+	}
+	if err := dst.send(m); err != nil {
+		from.send(messageStanza{
+			From: Domain, To: from.jid.String(), ID: m.ID,
+			Type: "error", Body: "delivery-failed",
+		})
+	}
+}
+
+func (s *Server) handleIQ(sess *session, iq iqStanza) {
+	if iq.Type != "get" || iq.Roster == nil {
+		return
+	}
+	contacts := s.Roster(sess.user)
+	items := make([]rosterItem, 0, len(contacts))
+	for _, c := range contacts {
+		items = append(items, rosterItem{JID: MakeJID(c).String()})
+	}
+	sess.send(iqStanza{Type: "result", ID: iq.ID, Roster: &rosterQuery{Items: items}})
+}
+
+// broadcastPresence tells every online roster contact about user's change.
+func (s *Server) broadcastPresence(user string, available bool) {
+	typ := "available"
+	if !available {
+		typ = "unavailable"
+	}
+	s.mu.Lock()
+	var peers []*session
+	for contact := range s.rosters[user] {
+		if p := s.sessions[contact]; p != nil {
+			peers = append(peers, p)
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.send(presenceStanza{From: MakeJID(user).String(), Type: typ})
+	}
+}
+
+// sendInitialPresence tells a fresh session which roster contacts are
+// already online.
+func (s *Server) sendInitialPresence(sess *session) {
+	s.mu.Lock()
+	var online []string
+	for contact := range s.rosters[sess.user] {
+		if s.sessions[contact] != nil {
+			online = append(online, contact)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(online)
+	for _, c := range online {
+		sess.send(presenceStanza{From: MakeJID(c).String(), Type: "available"})
+	}
+}
+
+// expectElement reads the next start element, requiring the given name, and
+// decodes it into v. A stream header is left open (not consumed to EOF).
+func expectElement(dec *xml.Decoder, name string, v any) error {
+	tok, err := nextStart(dec)
+	if err != nil {
+		return err
+	}
+	if tok.Name.Local != name {
+		return fmt.Errorf("xmpp: expected <%s>, got <%s>", name, tok.Name.Local)
+	}
+	if name == "stream" {
+		// Stream elements stay open for the connection's lifetime; decode
+		// attributes by hand instead of consuming to the end tag.
+		hdr, ok := v.(*streamHeader)
+		if !ok {
+			return errors.New("xmpp: bad stream target")
+		}
+		for _, a := range tok.Attr {
+			switch a.Name.Local {
+			case "to":
+				hdr.To = a.Value
+			case "from":
+				hdr.From = a.Value
+			}
+		}
+		return nil
+	}
+	return dec.DecodeElement(v, &tok)
+}
+
+// nextStart advances to the next XML start element.
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return t, nil
+		case xml.EndElement:
+			if t.Name.Local == "stream" {
+				return xml.StartElement{}, io.EOF
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package xmpp implements the subset of the XMPP instant-messaging protocol
+// that Pogo relies on (§4.6 of the paper): XML streams over TCP, PLAIN-style
+// authentication, rosters ("buddy lists" capturing which devices are
+// assigned to which researchers), presence, and message stanzas.
+//
+// The paper runs an off-the-shelf Openfire server; this package is the
+// equivalent switchboard, written from scratch on the standard library. It
+// deliberately keeps XMPP's weak delivery guarantees — messages to offline
+// peers are dropped with an error stanza at best — because Pogo implements
+// its own end-to-end acknowledgements on top (internal/transport).
+package xmpp
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Domain is the default server domain used in JIDs.
+const Domain = "pogo"
+
+// JID is a bare or full Jabber identifier: user@domain[/resource].
+type JID string
+
+// MakeJID builds a bare JID from a user name.
+func MakeJID(user string) JID { return JID(user + "@" + Domain) }
+
+// Bare strips the resource part.
+func (j JID) Bare() JID {
+	if i := strings.IndexByte(string(j), '/'); i >= 0 {
+		return j[:i]
+	}
+	return j
+}
+
+// User returns the local part.
+func (j JID) User() string {
+	s := string(j.Bare())
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// String returns the JID text.
+func (j JID) String() string { return string(j) }
+
+// streamHeader opens an XML stream in either direction.
+type streamHeader struct {
+	XMLName xml.Name `xml:"stream"`
+	To      string   `xml:"to,attr,omitempty"`
+	From    string   `xml:"from,attr,omitempty"`
+}
+
+// authStanza carries simplified PLAIN credentials and the desired resource.
+type authStanza struct {
+	XMLName  xml.Name `xml:"auth"`
+	User     string   `xml:"user,attr"`
+	Password string   `xml:"password,attr"`
+	Resource string   `xml:"resource,attr"`
+}
+
+// successStanza acknowledges authentication and reports the bound full JID.
+type successStanza struct {
+	XMLName xml.Name `xml:"success"`
+	JID     string   `xml:"jid,attr"`
+}
+
+// failureStanza rejects authentication.
+type failureStanza struct {
+	XMLName xml.Name `xml:"failure"`
+	Reason  string   `xml:"reason,attr"`
+}
+
+// presenceStanza announces availability changes of roster contacts.
+type presenceStanza struct {
+	XMLName xml.Name `xml:"presence"`
+	From    string   `xml:"from,attr"`
+	Type    string   `xml:"type,attr"` // "available" or "unavailable"
+}
+
+// messageStanza is a routed chat message. Pogo puts its JSON envelopes in
+// Body. Type "error" bounces an undeliverable message back to the sender.
+type messageStanza struct {
+	XMLName xml.Name `xml:"message"`
+	From    string   `xml:"from,attr,omitempty"`
+	To      string   `xml:"to,attr"`
+	ID      string   `xml:"id,attr,omitempty"`
+	Type    string   `xml:"type,attr,omitempty"`
+	Body    string   `xml:"body"`
+}
+
+// iqStanza carries roster queries.
+type iqStanza struct {
+	XMLName xml.Name     `xml:"iq"`
+	Type    string       `xml:"type,attr"` // "get" or "result"
+	ID      string       `xml:"id,attr"`
+	Roster  *rosterQuery `xml:"query,omitempty"`
+}
+
+type rosterQuery struct {
+	XMLName xml.Name     `xml:"query"`
+	Items   []rosterItem `xml:"item"`
+}
+
+type rosterItem struct {
+	JID string `xml:"jid,attr"`
+}
+
+// marshalStanza renders a stanza to bytes for a framed write.
+func marshalStanza(v any) ([]byte, error) {
+	b, err := xml.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("xmpp: marshal %T: %w", v, err)
+	}
+	return b, nil
+}

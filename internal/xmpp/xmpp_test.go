@@ -1,0 +1,307 @@
+package xmpp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s := NewServer(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dial(t *testing.T, s *Server, user, pass string) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr(), user, pass, "test")
+	if err != nil {
+		t.Fatalf("dial %s: %v", user, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestJID(t *testing.T) {
+	j := JID("alice@pogo/phone")
+	if j.Bare() != "alice@pogo" || j.User() != "alice" {
+		t.Errorf("Bare=%s User=%s", j.Bare(), j.User())
+	}
+	if MakeJID("bob") != "bob@pogo" {
+		t.Errorf("MakeJID = %s", MakeJID("bob"))
+	}
+	if JID("plain").User() != "plain" {
+		t.Error("User of domainless JID")
+	}
+}
+
+func TestAuthSuccessAndFailure(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	s.AddAccount("alice", "secret")
+
+	c := dial(t, s, "alice", "secret")
+	if c.JID().Bare() != "alice@pogo" {
+		t.Errorf("JID = %s", c.JID())
+	}
+
+	if _, err := Dial(s.Addr(), "alice", "wrong", "r"); err == nil {
+		t.Error("bad password accepted")
+	}
+	if _, err := Dial(s.Addr(), "nobody", "x", "r"); err == nil {
+		t.Error("unknown account accepted without auto-register")
+	}
+}
+
+func TestAutoRegister(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	c := dial(t, s, "fresh", "pw")
+	if c.JID().User() != "fresh" {
+		t.Errorf("JID = %s", c.JID())
+	}
+	// Second login must still check the password.
+	c.Close()
+	if _, err := Dial(s.Addr(), "fresh", "different", "r"); err == nil {
+		t.Error("auto-registered account accepted wrong password later")
+	}
+}
+
+func TestMessageRouting(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("researcher", "device1")
+
+	var mu sync.Mutex
+	var got []string
+	dev := dial(t, s, "device1", "pw")
+	dev.OnMessage(func(from JID, id, body string) {
+		mu.Lock()
+		got = append(got, from.Bare().String()+"|"+id+"|"+body)
+		mu.Unlock()
+	})
+	res := dial(t, s, "researcher", "pw")
+	if err := res.SendMessage(MakeJID("device1"), "m1", `{"hello":1}`); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "message delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != `researcher@pogo|m1|{"hello":1}` {
+		t.Errorf("got %q", got[0])
+	}
+}
+
+func TestMessageToOfflinePeerBounces(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("researcher", "device1")
+	res := dial(t, s, "researcher", "pw")
+	var mu sync.Mutex
+	var errs []string
+	res.OnError(func(id, reason string) {
+		mu.Lock()
+		errs = append(errs, id+"|"+reason)
+		mu.Unlock()
+	})
+	res.SendMessage(MakeJID("device1"), "m9", "payload")
+	waitFor(t, "error bounce", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(errs) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if errs[0] != "m9|recipient-offline" {
+		t.Errorf("bounce = %q", errs[0])
+	}
+}
+
+func TestMessageOutsideRosterRejected(t *testing.T) {
+	// Device nodes can never message each other (§4.2): the roster is the
+	// authorization boundary.
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	a := dial(t, s, "devA", "pw")
+	b := dial(t, s, "devB", "pw")
+	received := make(chan string, 1)
+	b.OnMessage(func(_ JID, _, body string) { received <- body })
+	var mu sync.Mutex
+	var errs []string
+	a.OnError(func(id, reason string) {
+		mu.Lock()
+		errs = append(errs, reason)
+		mu.Unlock()
+	})
+	a.SendMessage(MakeJID("devB"), "m1", "sneaky")
+	waitFor(t, "rejection", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(errs) == 1
+	})
+	mu.Lock()
+	if errs[0] != "not-on-roster" {
+		t.Errorf("reason = %q", errs[0])
+	}
+	mu.Unlock()
+	select {
+	case body := <-received:
+		t.Errorf("unauthorized message delivered: %q", body)
+	default:
+	}
+}
+
+func TestRosterQuery(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("researcher", "device1")
+	s.Associate("researcher", "device2")
+	res := dial(t, s, "researcher", "pw")
+	items, err := res.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0] != "device1@pogo" || items[1] != "device2@pogo" {
+		t.Errorf("roster = %v", items)
+	}
+	if got := s.Roster("device1"); len(got) != 1 || got[0] != "researcher" {
+		t.Errorf("server roster for device1 = %v", got)
+	}
+	s.Dissociate("researcher", "device2")
+	if got := s.Roster("researcher"); len(got) != 1 {
+		t.Errorf("roster after dissociate = %v", got)
+	}
+}
+
+func TestPresenceNotifications(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("researcher", "device1")
+
+	var mu sync.Mutex
+	presence := map[string]bool{}
+	res := dial(t, s, "researcher", "pw")
+	res.OnPresence(func(peer JID, avail bool) {
+		mu.Lock()
+		presence[peer.User()] = avail
+		mu.Unlock()
+	})
+
+	dev := dial(t, s, "device1", "pw")
+	waitFor(t, "device online presence", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return presence["device1"]
+	})
+
+	dev.Close()
+	waitFor(t, "device offline presence", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return !presence["device1"]
+	})
+}
+
+func TestReconnectReplacesSession(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	s.Associate("r", "d")
+	c1 := dial(t, s, "d", "pw")
+	disconnected := make(chan struct{})
+	c1.OnDisconnect(func(error) { close(disconnected) })
+
+	// Interface handover: the device reconnects; the server must adopt the
+	// new session (§4.6).
+	c2 := dial(t, s, "d", "pw")
+	select {
+	case <-disconnected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("old session not displaced")
+	}
+	waitFor(t, "new session live", func() bool { return s.Online("d") })
+
+	var mu sync.Mutex
+	var got []string
+	c2.OnMessage(func(_ JID, _, body string) {
+		mu.Lock()
+		got = append(got, body)
+		mu.Unlock()
+	})
+	r := dial(t, s, "r", "pw")
+	r.SendMessage(MakeJID("d"), "m", "after-handover")
+	waitFor(t, "delivery to new session", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+}
+
+func TestServerClose(t *testing.T) {
+	s := NewServer(ServerConfig{AllowAutoRegister: true})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr(), "u", "p", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	s.Close() // idempotent
+	if s.Online("u") {
+		t.Error("session survives server close")
+	}
+}
+
+func TestManyClientsConcurrent(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true})
+	const n = 8
+	for i := 0; i < n; i++ {
+		s.Associate("collector", "dev"+string(rune('0'+i)))
+	}
+	var mu sync.Mutex
+	bodies := map[string]bool{}
+	col := dial(t, s, "collector", "pw")
+	col.OnMessage(func(from JID, _, body string) {
+		mu.Lock()
+		bodies[body] = true
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "dev" + string(rune('0'+i))
+			c, err := Dial(s.Addr(), name, "pw", "r")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				c.SendMessage(MakeJID("collector"), "m", name+"-"+string(rune('0'+j)))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, "all messages", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(bodies) == n*10
+	})
+}
