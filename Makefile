@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test bench check stdout-guard
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# check is the tier-1 gate: vet, the full test suite under the race
+# detector, and the library-stdout guard.
+check: stdout-guard
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Library packages must never write to stdout/stderr directly — script
+# output goes through core.LogStore and diagnostics through internal/obs.
+# (Example* functions in _test.go files are exempt: go test requires them
+# to print.)
+stdout-guard:
+	@! grep -rn --include='*.go' -E '\b(fmt|log)\.Print(f|ln)?\(' internal/ \
+		| grep -v _test.go \
+		| grep . && echo "stdout-guard: ok" || (echo "stdout-guard: stray print in internal/ (see above)"; exit 1)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,27 +20,46 @@ import (
 	"time"
 
 	"pogo/internal/experiments"
+	"pogo/internal/obs"
 	"pogo/internal/radio"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all")
+		run    = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub (broker microbenchmark, not part of all)")
 		days   = flag.Int("days", 24, "table4: experiment length in days")
 		seed   = flag.Int64("seed", 1, "table4: world seed")
 		freeze = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
+		stats  = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
 	)
 	flag.Parse()
-	if err := runExperiments(*run, *days, *seed, *freeze); err != nil {
+	if err := runExperiments(*run, *days, *seed, *freeze, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, days int, seed int64, freeze bool) error {
+func runExperiments(which string, days int, seed int64, freeze, stats bool) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
+	reg := obs.NewRegistry()
 
+	if which == "pubsub" {
+		// Broker fanout microbenchmark: not part of "all" (it measures this
+		// machine, not the paper). Records the baseline BENCH_pubsub.json.
+		res := experiments.PubsubBench(1000, 2000)
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_pubsub.json", append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("pubsub fanout: %d subscribers x %d publishes: %.0f ns/publish, %.0f deliveries/s\n",
+			res.Subscribers, res.Publishes, res.NsPerPublish, res.DeliveriesPerSecond)
+		fmt.Println("baseline written to BENCH_pubsub.json")
+		return nil
+	}
 	if want("table2") {
 		ran = true
 		rows, err := experiments.Table2()
@@ -59,8 +79,10 @@ func runExperiments(which string, days int, seed int64, freeze bool) error {
 	if want("table3") {
 		ran = true
 		start := time.Now()
-		fmt.Println(experiments.RenderTable3(experiments.Table3()))
+		rows := experiments.Table3Obs(reg)
+		fmt.Println(experiments.RenderTable3(rows))
 		fmt.Printf("(simulated 6 device-hours in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		printTable3Metrics(reg, rows)
 	}
 	if want("table4") {
 		ran = true
@@ -91,7 +113,38 @@ func runExperiments(which string, days int, seed int64, freeze bool) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", which,
-			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all"}, "|"))
+			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub"}, "|"))
+	}
+	if stats {
+		fmt.Println("metrics registry:")
+		obs.WriteText(os.Stdout, reg)
 	}
 	return nil
+}
+
+// printTable3Metrics summarizes the observability registry after the Table 3
+// runs and cross-checks the phone's uplink-bytes counter against the totals
+// the experiment reported through its own, independent code path.
+func printTable3Metrics(reg *obs.Registry, rows []experiments.Table3Row) {
+	var reported int64
+	for _, r := range rows {
+		reported += r.UplinkBytes
+	}
+	counted := reg.CounterValue("transport_bytes_sent_total", obs.L("node", "phone"))
+	fmt.Println("end-of-run metrics (with-Pogo trials, all carriers):")
+	for _, name := range []string{
+		"pubsub_publishes_total",
+		"transport_messages_sent_total",
+		"transport_bytes_sent_total",
+		"transport_flushes_total",
+		"tailsync_piggyback_hits_total",
+		"tailsync_piggyback_misses_total",
+	} {
+		fmt.Printf("  %-36s %d\n", name+"{node=phone}", reg.CounterValue(name, obs.L("node", "phone")))
+	}
+	match := "MATCH"
+	if counted != reported {
+		match = "MISMATCH"
+	}
+	fmt.Printf("uplink bytes: counter=%d reported=%d %s\n\n", counted, reported, match)
 }

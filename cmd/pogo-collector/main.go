@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 
 	"pogo/internal/core"
 	"pogo/internal/geo"
+	"pogo/internal/obs"
 	"pogo/internal/transport"
 	"pogo/internal/vclock"
 )
@@ -31,28 +33,34 @@ func main() {
 		id        = flag.String("id", "researcher", "collector identity")
 		password  = flag.String("password", "pogo", "account password")
 		scriptDir = flag.String("scripts", "", "directory of experiment scripts (required)")
+		metrics   = flag.String("metrics", "", "serve /metrics, /trace, /stats on this address (e.g. 127.0.0.1:8623); empty disables")
 	)
 	flag.Parse()
 	if *scriptDir == "" {
 		fmt.Fprintln(os.Stderr, "pogo-collector: -scripts is required")
 		os.Exit(1)
 	}
-	if err := run(*server, *id, *password, *scriptDir); err != nil {
+	if err := run(*server, *id, *password, *scriptDir, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, id, password, scriptDir string) error {
+func run(server, id, password, scriptDir, metricsAddr string) error {
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	messenger, err := transport.DialXMPP(server, id, password, "pc")
 	if err != nil {
 		return fmt.Errorf("connect %s: %w", server, err)
 	}
 	defer messenger.Close()
+	messenger.Instrument(reg)
 
 	node, err := core.NewNode(core.Config{
 		ID: id, Mode: core.CollectorMode, Clock: vclock.Real{}, Messenger: messenger,
-		FlushPolicy: core.FlushImmediate,
+		FlushPolicy: core.FlushImmediate, Obs: reg,
 		OnPrint: func(script, text string) {
 			fmt.Printf("[%s] %s\n", script, text)
 		},
@@ -71,8 +79,17 @@ func run(server, id, password, scriptDir string) error {
 	defer svc.Close()
 
 	// Stream everything local scripts write to their logs.
-	node.Logs().OnAppend = func(logName, line string) {
+	node.Logs().SetOnAppend(func(logName, line string) {
 		fmt.Printf("%s << %s\n", logName, line)
+	})
+
+	if metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "pogo-collector: metrics:", err)
+			}
+		}()
+		fmt.Printf("pogo-collector: metrics on http://%s/metrics\n", metricsAddr)
 	}
 
 	entries, err := os.ReadDir(scriptDir)

@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
+	"pogo/internal/obs"
 	"pogo/internal/xmpp"
 )
 
@@ -34,19 +36,24 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:5222", "TCP listen address")
 		autoReg = flag.Bool("auto-register", true, "create accounts on first login (the paper's zero-registration model)")
+		metrics = flag.String("metrics", "", "serve /metrics, /trace, /stats on this address (e.g. 127.0.0.1:8622); empty disables")
 		assoc   associations
 	)
 	flag.Var(&assoc, "associate", "researcher=dev1,dev2 (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *autoReg, assoc); err != nil {
+	if err := run(*addr, *autoReg, *metrics, assoc); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, autoReg bool, assoc associations) error {
-	srv := xmpp.NewServer(xmpp.ServerConfig{Addr: addr, AllowAutoRegister: autoReg})
+func run(addr string, autoReg bool, metricsAddr string, assoc associations) error {
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	srv := xmpp.NewServer(xmpp.ServerConfig{Addr: addr, AllowAutoRegister: autoReg, Obs: reg})
 	for _, a := range assoc {
 		parts := strings.SplitN(a, "=", 2)
 		if len(parts) != 2 {
@@ -64,6 +71,14 @@ func run(addr string, autoReg bool, assoc associations) error {
 	}
 	defer srv.Close()
 	fmt.Printf("pogo-server: switchboard listening on %s (auto-register=%v)\n", srv.Addr(), autoReg)
+	if metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "pogo-server: metrics:", err)
+			}
+		}()
+		fmt.Printf("pogo-server: metrics on http://%s/metrics\n", metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

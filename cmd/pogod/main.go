@@ -24,6 +24,7 @@ import (
 	"pogo/internal/core"
 	"pogo/internal/energy"
 	"pogo/internal/env"
+	"pogo/internal/obs"
 	"pogo/internal/radio"
 	"pogo/internal/sensors"
 	"pogo/internal/store"
@@ -40,15 +41,20 @@ func main() {
 		seed     = flag.Int64("seed", 42, "synthetic world seed")
 		verbose  = flag.Bool("v", true, "print script output")
 		hide     = flag.String("hide", "", "comma-separated channels the owner does NOT share (e.g. location,wifi-scan)")
+		stats    = flag.Bool("stats", false, "dump the metrics registry on shutdown")
 	)
 	flag.Parse()
-	if err := run(*server, *id, *password, *stateDir, *seed, *verbose, *hide); err != nil {
+	if err := run(*server, *id, *password, *stateDir, *seed, *verbose, *hide, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "pogod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, id, password, stateDir string, seed int64, verbose bool, hide string) error {
+func run(server, id, password, stateDir string, seed int64, verbose bool, hide string, stats bool) error {
+	var reg *obs.Registry
+	if stats {
+		reg = obs.NewRegistry()
+	}
 	privacy := core.NewPrivacy()
 	for _, ch := range strings.Split(hide, ",") {
 		if ch = strings.TrimSpace(ch); ch != "" {
@@ -78,10 +84,11 @@ func run(server, id, password, stateDir string, seed int64, verbose bool, hide s
 		return fmt.Errorf("connect %s: %w", server, err)
 	}
 	defer messenger.Close()
+	messenger.Instrument(reg)
 
 	node, err := core.NewNode(core.Config{
 		ID: id, Mode: core.DeviceMode, Clock: clk, Messenger: messenger,
-		Device: droid, Modem: modem, Storage: storage, Privacy: privacy,
+		Device: droid, Modem: modem, Storage: storage, Privacy: privacy, Obs: reg,
 		OutboxPath:  filepath.Join(stateDir, "outbox.log"),
 		FlushPolicy: core.FlushInterval, FlushEvery: 15 * time.Second,
 		OnPrint: func(script, text string) {
@@ -112,5 +119,9 @@ func run(server, id, password, stateDir string, seed int64, verbose bool, hide s
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("pogod: shutting down")
+	if stats {
+		node.Close() // flush the final per-script usage export
+		obs.WriteText(os.Stdout, reg)
+	}
 	return nil
 }

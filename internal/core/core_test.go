@@ -436,7 +436,7 @@ func TestNewNodeValidation(t *testing.T) {
 func TestLogStore(t *testing.T) {
 	l := NewLogStore()
 	var hooked []string
-	l.OnAppend = func(log, line string) { hooked = append(hooked, log+":"+line) }
+	l.SetOnAppend(func(log, line string) { hooked = append(hooked, log+":"+line) })
 	l.Append("a", "1")
 	l.Append("a", "2")
 	l.Append("b", "3")

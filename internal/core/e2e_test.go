@@ -64,13 +64,13 @@ func TestCoreOverRealXMPP(t *testing.T) {
 
 	var mu sync.Mutex
 	var lines []string
-	col.Logs().OnAppend = func(log, line string) {
+	col.Logs().SetOnAppend(func(log, line string) {
 		if log == "pings" {
 			mu.Lock()
 			lines = append(lines, line)
 			mu.Unlock()
 		}
-	}
+	})
 	if err := col.DeployLocal("sink.js", `
 		setDescription('sink');
 		subscribe('ping', function (m, origin) { logTo('pings', origin + ':' + m.n); });

@@ -6,11 +6,10 @@ import "sync"
 // and logTo() functions — and, on a collector, the "database" that
 // collect.js pushes annotated places into.
 type LogStore struct {
-	mu     sync.Mutex
-	logs   map[string][]string
-	prints []PrintLine
-	// OnAppend (may be set before scripts run) observes every logged line.
-	OnAppend func(logName, line string)
+	mu       sync.Mutex
+	logs     map[string][]string
+	prints   []PrintLine
+	onAppend func(logName, line string)
 }
 
 // PrintLine is one script debug print.
@@ -24,11 +23,26 @@ func NewLogStore() *LogStore {
 	return &LogStore{logs: make(map[string][]string)}
 }
 
+// SetOnAppend registers fn to observe every line appended to any log.
+//
+// Contract: fn is called synchronously on the appending goroutine, after the
+// line is stored, outside the store's mutex — so fn may safely call back
+// into the LogStore (Lines, Append) but must be quick and must not block,
+// or it stalls the script that logged. At most one observer is held; a
+// later call replaces the previous one, and nil removes it. Set it before
+// scripts run: lines appended concurrently with SetOnAppend may or may not
+// be observed.
+func (l *LogStore) SetOnAppend(fn func(logName, line string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onAppend = fn
+}
+
 // Append adds a line to the named log.
 func (l *LogStore) Append(logName, line string) {
 	l.mu.Lock()
 	l.logs[logName] = append(l.logs[logName], line)
-	fn := l.OnAppend
+	fn := l.onAppend
 	l.mu.Unlock()
 	if fn != nil {
 		fn(logName, line)

@@ -26,6 +26,7 @@ import (
 
 	"pogo/internal/android"
 	"pogo/internal/msg"
+	"pogo/internal/obs"
 	"pogo/internal/radio"
 	"pogo/internal/sched"
 	"pogo/internal/script"
@@ -109,6 +110,11 @@ type Config struct {
 	OnPrint func(scriptName, text string)
 	// OnScriptError observes script runtime errors (may be nil).
 	OnScriptError func(scriptName string, err error)
+	// Obs, when non-nil, receives metrics and message-lifecycle trace
+	// events from every layer of the node (broker, scheduler, transport,
+	// tail detector, per-script usage). Nil disables observability at zero
+	// cost.
+	Obs *obs.Registry
 }
 
 // Node is a running Pogo middleware instance.
@@ -129,6 +135,8 @@ type Node struct {
 	deploySeq []string
 	stopFlush func()
 	closed    bool
+
+	obsCancel func() // unregisters the usage collect hook; nil without Obs
 }
 
 // NewNode assembles and starts a node: it attaches to the messenger,
@@ -189,8 +197,10 @@ func NewNode(cfg Config) (*Node, error) {
 		deploys:  make(map[string]string),
 	}
 	n.smgr = sensors.NewManager(n.sch)
+	n.sch.Instrument(cfg.Obs, cfg.ID)
 	n.ep = transport.NewEndpoint(cfg.Messenger, box, cfg.Clock, transport.EndpointConfig{
 		MaxAge: cfg.MaxMessageAge,
+		Obs:    cfg.Obs,
 	})
 	n.ep.OnMessage(n.handleMessage)
 	cfg.Messenger.OnOnline(func() { n.sch.Submit("reconnect-flush", func() { n.Flush() }) })
@@ -219,11 +229,27 @@ func NewNode(cfg Config) (*Node, error) {
 		n.stopFlush = n.sch.Every(cfg.FlushEvery, "flush", func() { n.Flush() })
 	case FlushTailSync:
 		n.det = tail.New(cfg.Device, cfg.Modem.Stats, 0)
+		n.det.Instrument(cfg.Obs, cfg.ID)
 		// Pogo's own transmissions (and the acks they provoke) must not
 		// re-trigger the detector (§4.7 detects OTHER applications).
 		n.ep.OnWire(func(sent, recv int64) { n.det.Discount(sent + recv) })
-		n.det.OnTraffic(func(int64) { n.Flush() })
+		// A detected tail is a hit when buffered data rides it out, a miss
+		// when the outbox was already empty.
+		hits := cfg.Obs.Counter("tailsync_piggyback_hits_total", obs.L("node", cfg.ID))
+		misses := cfg.Obs.Counter("tailsync_piggyback_misses_total", obs.L("node", cfg.ID))
+		n.det.OnTraffic(func(int64) {
+			if n.Pending() > 0 {
+				hits.Inc()
+			} else {
+				misses.Inc()
+			}
+			n.Flush()
+		})
 		n.det.Start()
+	}
+
+	if cfg.Obs != nil {
+		n.obsCancel = cfg.Obs.OnCollect(n.exportUsage)
 	}
 
 	switch cfg.Mode {
@@ -302,8 +328,13 @@ func (n *Node) Close() {
 		ctxs = append(ctxs, n.local)
 	}
 	stopFlush := n.stopFlush
+	obsCancel := n.obsCancel
 	n.mu.Unlock()
 
+	if obsCancel != nil {
+		obsCancel()
+		n.exportUsage() // final usage export; scripts are about to stop
+	}
 	if n.det != nil {
 		n.det.Stop()
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"pogo/internal/obs"
+)
 
 // ScriptUsage is the per-script resource accounting of the paper's future
 // work (§6: "implement power modelling to estimate the resource consumption
@@ -90,4 +94,27 @@ func (n *Node) ScriptUsages(model PowerModel) []ScriptUsage {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// exportUsage syncs per-script usage counters into the node's registry as
+// gauges (gauges, not counters: script updates reset the runtime's counters,
+// so values are not monotonic). Runs as a Registry.OnCollect hook before
+// every snapshot, and once more at Close.
+func (n *Node) exportUsage() {
+	reg := n.cfg.Obs
+	if reg == nil {
+		return
+	}
+	for _, u := range n.ScriptUsages(DefaultPowerModel()) {
+		ls := []obs.Label{
+			obs.L("node", n.cfg.ID),
+			obs.L("context", u.Context),
+			obs.L("script", u.Name),
+		}
+		reg.Gauge("script_entries", ls...).Set(float64(u.Entries))
+		reg.Gauge("script_errors", ls...).Set(float64(u.Errors))
+		reg.Gauge("script_publishes", ls...).Set(float64(u.Publishes))
+		reg.Gauge("script_steps", ls...).Set(float64(u.Steps))
+		reg.Gauge("script_estimated_joules", ls...).Set(u.EstimatedJoules)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"pogo/internal/android"
 	"pogo/internal/core"
 	"pogo/internal/energy"
+	"pogo/internal/obs"
 	"pogo/internal/radio"
 	"pogo/internal/script/scripts"
 	"pogo/internal/sensors"
@@ -36,6 +37,8 @@ type PowerTrialConfig struct {
 	RecordTrace bool
 	// Log records activity spans (Figure 4).
 	Log *android.ActivityLog
+	// Obs, when non-nil, instruments both nodes into this registry.
+	Obs *obs.Registry
 }
 
 func (c PowerTrialConfig) withDefaults() PowerTrialConfig {
@@ -73,6 +76,9 @@ type PowerTrialResult struct {
 	MeanBatchSize float64
 	// DeliveryDelayMean is the average enqueue→deliver latency.
 	DeliveryDelayMean time.Duration
+	// UplinkBytes is the phone's total data-batch payload bytes for the
+	// whole run (settle window included), from the transport's own counter.
+	UplinkBytes int64
 	// Breakdown is the per-component energy split of the measured window.
 	Breakdown map[string]float64
 	// Trace is the power step function when RecordTrace was set.
@@ -114,6 +120,7 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 		var err error
 		colNode, err = core.NewNode(core.Config{
 			ID: "collector", Mode: core.CollectorMode, Clock: clk, Messenger: colPort,
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			panic(err)
@@ -125,6 +132,7 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 			ID: "phone", Mode: core.DeviceMode, Clock: clk, Messenger: devPort,
 			Device: droid, Modem: modem, Storage: store.NewMemKV(),
 			FlushPolicy: cfg.Policy, FlushEvery: cfg.FlushEvery,
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			panic(err)
@@ -154,7 +162,7 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 				})
 			}
 		}
-		colNode.Logs().OnAppend = func(logName, line string) {
+		colNode.Logs().SetOnAppend(func(logName, line string) {
 			if logName != "battery" {
 				return
 			}
@@ -166,7 +174,7 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 			if len(burstTimes) == 0 || now.Sub(burstTimes[len(burstTimes)-1]) > 30*time.Second {
 				burstTimes = append(burstTimes, now)
 			}
-		}
+		})
 	}
 
 	// Let the deployment settle — and its transmission tail die out —
@@ -201,6 +209,9 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 		}
 		res.DeliveryDelayMean = sum / time.Duration(len(delays))
 	}
+	if devNode != nil {
+		res.UplinkBytes = devNode.Endpoint().Stats().BytesSent
+	}
 	email.Stop()
 	return res
 }
@@ -231,14 +242,20 @@ type Table3Row struct {
 	IncreasePct float64
 	PogoTails   int // modem activations caused by Pogo itself (0 = perfect sync)
 	BatchSize   float64
+	UplinkBytes int64 // phone uplink payload bytes over the whole with-Pogo run
 }
 
 // Table3 reruns the §5.2 experiment across the three carriers.
-func Table3() []Table3Row {
+func Table3() []Table3Row { return Table3Obs(nil) }
+
+// Table3Obs is Table3 with every with-Pogo trial instrumented into reg (the
+// registry accumulates across carriers: the phone's uplink-bytes counter
+// ends at the sum of the rows' UplinkBytes). reg may be nil.
+func Table3Obs(reg *obs.Registry) []Table3Row {
 	rows := make([]Table3Row, 0, 3)
 	for _, carrier := range radio.Carriers() {
 		base := RunPowerTrial(PowerTrialConfig{Carrier: carrier})
-		with := RunPowerTrial(PowerTrialConfig{Carrier: carrier, WithPogo: true})
+		with := RunPowerTrial(PowerTrialConfig{Carrier: carrier, WithPogo: true, Obs: reg})
 		rows = append(rows, Table3Row{
 			Carrier:     carrier.Name,
 			WithoutPogo: base.Joules,
@@ -246,6 +263,7 @@ func Table3() []Table3Row {
 			IncreasePct: 100 * (with.Joules - base.Joules) / base.Joules,
 			PogoTails:   with.PogoTails,
 			BatchSize:   with.MeanBatchSize,
+			UplinkBytes: with.UplinkBytes,
 		})
 	}
 	return rows

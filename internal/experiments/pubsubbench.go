@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"time"
+
+	"pogo/internal/msg"
+	"pogo/internal/pubsub"
+)
+
+// PubsubBenchResult is the broker fanout microbenchmark: `pogo-bench -run
+// pubsub` records it to BENCH_pubsub.json so regressions in the broker's
+// hot path show up as a diff against the committed baseline.
+type PubsubBenchResult struct {
+	Subscribers         int     `json:"subscribers"`
+	Publishes           int     `json:"publishes"`
+	Deliveries          int64   `json:"deliveries"`
+	NsPerPublish        float64 `json:"ns_per_publish"`
+	DeliveriesPerSecond float64 `json:"deliveries_per_second"`
+}
+
+// PubsubBench publishes `publishes` messages to a channel with `subscribers`
+// active subscriptions and measures wall-clock broker throughput. Delivery
+// is synchronous on the publisher's goroutine, so the measurement is the
+// full fanout cost including each subscriber's defensive payload clone.
+func PubsubBench(subscribers, publishes int) PubsubBenchResult {
+	br := pubsub.New()
+	var delivered int64
+	for i := 0; i < subscribers; i++ {
+		br.Subscribe("bench", nil, func(pubsub.Event) { delivered++ })
+	}
+	payload := msg.Map{"voltage": 4.1, "level": 0.9, "timestamp": 1.0}
+
+	start := time.Now()
+	for i := 0; i < publishes; i++ {
+		br.Publish("bench", payload)
+	}
+	elapsed := time.Since(start)
+
+	res := PubsubBenchResult{
+		Subscribers: subscribers,
+		Publishes:   publishes,
+		Deliveries:  delivered,
+	}
+	if publishes > 0 {
+		res.NsPerPublish = float64(elapsed.Nanoseconds()) / float64(publishes)
+	}
+	if elapsed > 0 {
+		res.DeliveriesPerSecond = float64(delivered) / elapsed.Seconds()
+	}
+	return res
+}

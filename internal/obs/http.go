@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Handler returns an http.Handler exposing the registry expvar-style:
+//
+//	GET /metrics            — full Snapshot as JSON (counters, gauges, histograms)
+//	GET /trace              — retained lifecycle events as JSON
+//	GET /trace?channel=ch   — events for one channel
+//	GET /stats              — the human-readable text dump (same as -stats)
+//
+// Everything is stdlib-only JSON; point curl or a scraper at it.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t := r.Tracer()
+		var events []Event
+		if ch := req.URL.Query().Get("channel"); ch != "" {
+			events = t.Channel(ch)
+		} else {
+			events = t.Events()
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{t.Dropped(), events})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, r)
+	})
+	return mux
+}
+
+// WriteText renders the registry as a sorted, aligned text report — the
+// -stats output of cmd/pogod and cmd/pogo-bench.
+func WriteText(w io.Writer, r *Registry) {
+	s := r.Snapshot()
+	section := func(title string) { fmt.Fprintf(w, "%s:\n", title) }
+	if len(s.Counters) > 0 {
+		section("counters")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-64s %d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-64s %g\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(w, "  %-64s count=%d sum=%g mean=%g\n", k, h.Count, h.Sum, mean)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,124 @@
+// Lifecycle tracing is verified from outside the package (obs_test) so the
+// test can assemble a real simulated testbed: a collector and a device wired
+// through the in-memory switchboard, both instrumented into one registry.
+// The traced message must yield the ordered span sequence
+// publish → enqueue → send → deliver → fanout, and — because every timestamp
+// comes from the simulated clock — two identical runs must produce
+// byte-for-byte identical traces.
+package obs_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pogo/internal/android"
+	"pogo/internal/core"
+	"pogo/internal/energy"
+	"pogo/internal/obs"
+	"pogo/internal/radio"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+// runPingLifecycle builds a fresh collector+device testbed, publishes one
+// message on channel "ping" from a device script five simulated seconds in,
+// and returns the channel's trace.
+func runPingLifecycle(t *testing.T) []obs.Event {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clk := vclock.NewSim()
+	sb := transport.NewSwitchboard(clk)
+
+	col, err := core.NewNode(core.Config{
+		ID: "collector", Mode: core.CollectorMode, Clock: clk,
+		Messenger: sb.Port("collector", nil), Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	sb.Associate("collector", "phone")
+	meter := energy.NewMeter(clk)
+	droid := android.NewDevice(clk, meter, android.Config{})
+	modem := radio.NewModem(clk, meter, radio.KPN)
+	conn := radio.NewConnectivity(modem, nil)
+	dev, err := core.NewNode(core.Config{
+		ID: "phone", Mode: core.DeviceMode, Clock: clk,
+		Messenger: sb.Port("phone", conn), Device: droid, Modem: modem,
+		Storage: store.NewMemKV(), FlushPolicy: core.FlushImmediate, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	if err := col.DeployLocal("collect.js", `subscribe('ping', function (m, origin) {});`); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Deploy("ping.js", `setTimeout(function () { publish('ping', { n: 1 }); }, 5000);`); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	return reg.Tracer().Channel("ping")
+}
+
+func TestMessageLifecycleTrace(t *testing.T) {
+	events := runPingLifecycle(t)
+
+	type step struct {
+		node  string
+		stage obs.Stage
+	}
+	want := []step{
+		{"phone", obs.StagePublish},     // device broker delivers to the proxy
+		{"phone", obs.StageEnqueue},     // proxy buffers for the collector
+		{"phone", obs.StageSend},        // immediate flush hands it to the wire
+		{"collector", obs.StageDeliver}, // endpoint dedups and accepts
+		{"collector", obs.StageFanout},  // collector broker reaches the script
+	}
+	if len(events) != len(want) {
+		t.Fatalf("trace has %d events, want %d:\n%+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		ev := events[i]
+		if ev.Node != w.node || ev.Stage != w.stage {
+			t.Errorf("event[%d] = %s@%s, want %s@%s", i, ev.Stage, ev.Node, w.stage, w.node)
+		}
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			t.Errorf("event[%d].Seq = %d not after %d", i, ev.Seq, events[i-1].Seq)
+		}
+	}
+
+	// Timestamps are simulated time: monotone along the lifecycle, after the
+	// script's 5 s timeout, inside the 10 s run, with the radio hop putting
+	// delivery strictly after the send.
+	epoch := vclock.SimEpoch
+	for i, ev := range events {
+		if ev.At.Before(epoch.Add(5*time.Second)) || ev.At.After(epoch.Add(10*time.Second)) {
+			t.Errorf("event[%d] at %v, outside the simulated window", i, ev.At)
+		}
+		if i > 0 && ev.At.Before(events[i-1].At) {
+			t.Errorf("event[%d] at %v before its predecessor at %v", i, ev.At, events[i-1].At)
+		}
+	}
+	if !events[3].At.After(events[2].At) {
+		t.Errorf("deliver at %v not after send at %v", events[3].At, events[2].At)
+	}
+
+	// The send and deliver stages carry the same outbox message id.
+	if events[2].MsgID == 0 || events[2].MsgID != events[3].MsgID {
+		t.Errorf("send/deliver msg ids = %d/%d, want equal and nonzero",
+			events[2].MsgID, events[3].MsgID)
+	}
+}
+
+func TestMessageLifecycleTraceDeterministic(t *testing.T) {
+	a := runPingLifecycle(t)
+	b := runPingLifecycle(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical simulated runs traced differently:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs_total", L("node", "a"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels (any label order) is the same instrument.
+	if r.Counter("msgs_total", L("node", "a")) != c {
+		t.Error("re-registration returned a different counter")
+	}
+	c2 := r.Counter("msgs_total", L("node", "b"))
+	if c2 == c {
+		t.Error("different labels shared an instrument")
+	}
+	if got := r.CounterValue("msgs_total", L("node", "a")); got != 5 {
+		t.Errorf("CounterValue = %d", got)
+	}
+	if got := r.CounterValue("absent"); got != 0 {
+		t.Errorf("absent CounterValue = %d", got)
+	}
+
+	g := r.Gauge("temp")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v", got)
+	}
+}
+
+func TestLabelKeyCanonical(t *testing.T) {
+	a := key("m", []Label{L("b", "2"), L("a", "1")})
+	b := key("m", []Label{L("a", "1"), L("b", "2")})
+	if a != b || a != "m{a=1,b=2}" {
+		t.Errorf("keys %q vs %q", a, b)
+	}
+	if key("m", nil) != "m" {
+		t.Error("unlabeled key")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("z", DefBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	tr := r.Tracer()
+	tr.Record(time.Time{}, "n", "ch", StagePublish, 0, "")
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer recorded")
+	}
+	tr.Reset()
+	cancel := r.OnCollect(func() {})
+	cancel()
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 0.5+1+2+10+99+1000 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	// Upper-bound inclusive: ≤1 → bucket0, ≤10 → bucket1, ≤100 → bucket2, rest +Inf.
+	want := []int64{2, 2, 1, 1}
+	for i, n := range want {
+		if snap.Counts[i] != n {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, snap.Counts[i], n, snap.Counts)
+		}
+	}
+}
+
+func TestTracerRingAndOrdering(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		tr.Record(base.Add(time.Duration(i)*time.Second), "n", "ch", StagePublish, uint64(i), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.MsgID != uint64(i+2) {
+			t.Errorf("event[%d].MsgID = %d, want %d", i, ev.MsgID, i+2)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Error("sequence not increasing")
+		}
+	}
+	if got := tr.Channel("other"); len(got) != 0 {
+		t.Errorf("Channel(other) = %v", got)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+	tr.Record(base, "n", "ch", StageDeliver, 9, "")
+	if got := tr.Events(); len(got) != 1 || got[0].Seq != 6 {
+		t.Errorf("post-reset events = %+v (seq must keep running)", got)
+	}
+}
+
+func TestOnCollectRunsAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	cancel := r.OnCollect(func() {
+		calls++
+		r.Gauge("pulled").Set(float64(calls))
+	})
+	s := r.Snapshot()
+	if calls != 1 || s.Gauges["pulled"] != 1 {
+		t.Errorf("calls=%d gauges=%v", calls, s.Gauges)
+	}
+	cancel()
+	r.Snapshot()
+	if calls != 1 {
+		t.Error("hook ran after cancel")
+	}
+}
+
+// TestConcurrentHotPaths exercises the atomic paths under -race.
+func TestConcurrentHotPaths(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := r.Counter("c", L("node", "x"))
+			g := r.Gauge("g")
+			h := r.Histogram("h", DefBuckets)
+			tr := r.Tracer()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 7))
+				tr.Record(time.Time{}, "n", "ch", StageSend, uint64(j), "")
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Snapshot()
+				r.Tracer().Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("c", L("node", "x")); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", DefBuckets).Count(); got != 8000 {
+		t.Errorf("histogram count = %d", got)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport_bytes_sent_total", L("node", "phone")).Add(123)
+	r.Tracer().Record(time.Date(2012, 6, 1, 0, 0, 5, 0, time.UTC), "phone", "battery", StagePublish, 0, "fanout=1")
+	r.Tracer().Record(time.Date(2012, 6, 1, 0, 0, 6, 0, time.UTC), "phone", "wifi", StagePublish, 0, "fanout=0")
+	h := Handler(r)
+
+	get := func(path string) string {
+		req := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Body.String()
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
+		t.Fatalf("bad /metrics JSON: %v", err)
+	}
+	if snap.Counters["transport_bytes_sent_total{node=phone}"] != 123 {
+		t.Errorf("metrics = %+v", snap.Counters)
+	}
+
+	var trace struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get("/trace")), &trace); err != nil {
+		t.Fatalf("bad /trace JSON: %v", err)
+	}
+	if len(trace.Events) != 2 {
+		t.Errorf("trace events = %d", len(trace.Events))
+	}
+	if err := json.Unmarshal([]byte(get("/trace?channel=battery")), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) != 1 || trace.Events[0].Channel != "battery" {
+		t.Errorf("filtered trace = %+v", trace.Events)
+	}
+
+	stats := get("/stats")
+	if !strings.Contains(stats, "transport_bytes_sent_total{node=phone}") || !strings.Contains(stats, "123") {
+		t.Errorf("stats dump:\n%s", stats)
+	}
+}

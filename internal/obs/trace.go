@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage names one step of a message's lifecycle through the stack.
+type Stage string
+
+// Lifecycle stages, in the order a message that crosses the network
+// traverses them. A locally consumed message stops at StagePublish; a
+// remote-bound one continues through the transport to the peer, where the
+// final broker fanout is recorded as StageFanout.
+const (
+	// StagePublish: a broker delivered a local publication to its active
+	// subscriptions (internal/pubsub).
+	StagePublish Stage = "publish"
+	// StageEnqueue: the transport buffered a message in the durable outbox
+	// (internal/transport).
+	StageEnqueue Stage = "enqueue"
+	// StageFlush: a flush pass found eligible buffered messages — timer,
+	// reconnect, or tail-sync triggered.
+	StageFlush Stage = "flush"
+	// StageSend: one buffered message was handed to the messenger inside a
+	// batch envelope.
+	StageSend Stage = "send"
+	// StageDeliver: the receiving endpoint accepted a fresh (deduplicated)
+	// message and handed it to the application.
+	StageDeliver Stage = "deliver"
+	// StageFanout: the receiving broker re-published a remote-originated
+	// message to its local subscriptions.
+	StageFanout Stage = "fanout"
+	// StageExpire: the max-age policy purged a buffered message unsent.
+	StageExpire Stage = "expire"
+)
+
+// Event is one recorded lifecycle step. Seq is a tracer-wide monotonic
+// sequence number: under the single-threaded simulated clock it totally
+// orders events, making traces reproducible bit-for-bit.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Node    string    `json:"node"`
+	Channel string    `json:"channel,omitempty"`
+	Stage   Stage     `json:"stage"`
+	// MsgID is the sender's outbox id for transport stages (0 where no
+	// per-message id exists, e.g. broker stages).
+	MsgID  uint64 `json:"msg,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultTraceCapacity bounds the tracer's ring buffer.
+const DefaultTraceCapacity = 8192
+
+// Tracer records lifecycle events into a bounded ring buffer. The zero value
+// is not usable; construct with NewTracer. All methods are nil-safe.
+//
+// Timestamps are supplied by callers from their own clock, so a simulation
+// produces identical traces on every run.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	dropped uint64
+	buf     []Event // ring
+	start   int     // index of oldest event
+}
+
+// NewTracer returns a tracer retaining the most recent capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Record appends one event. Nil-safe no-op.
+func (t *Tracer) Record(at time.Time, node, channel string, stage Stage, msgID uint64, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := Event{
+		Seq: t.seq, At: at, Node: node, Channel: channel,
+		Stage: stage, MsgID: msgID, Detail: detail,
+	}
+	t.seq++
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Events returns the retained events in sequence order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	for i := 0; i < len(t.buf); i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Channel returns the retained events for one channel, in sequence order.
+func (t *Tracer) Channel(channel string) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Channel == channel {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dropped reports how many events the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all retained events (the sequence counter keeps running).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = t.buf[:0]
+	t.start = 0
+}

@@ -18,9 +18,13 @@
 package pubsub
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pogo/internal/msg"
+	"pogo/internal/obs"
 )
 
 // Event is a delivered publication.
@@ -54,6 +58,40 @@ type Broker struct {
 	subs     map[string][]*Subscription // channel → subscriptions (active and inactive)
 	watchers map[int]*watcher
 	nextID   int
+	obs      *brokerObs // nil until Instrument
+}
+
+// brokerObs bundles the broker's instruments; all fields are nil-safe.
+type brokerObs struct {
+	node       string
+	now        func() time.Time
+	publishes  *obs.Counter
+	deliveries *obs.Counter
+	fanout     *obs.Histogram
+	active     *obs.Gauge
+	tracer     *obs.Tracer
+}
+
+// Instrument attaches the broker to a metrics registry. node labels the
+// metrics; now supplies trace timestamps (the owning node's clock, so
+// simulated runs trace deterministically). Safe to call at most once, before
+// traffic flows.
+func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node string) {
+	if reg == nil || now == nil {
+		return
+	}
+	o := &brokerObs{
+		node:       node,
+		now:        now,
+		publishes:  reg.Counter("pubsub_publishes_total", obs.L("node", node)),
+		deliveries: reg.Counter("pubsub_deliveries_total", obs.L("node", node)),
+		fanout:     reg.Histogram("pubsub_fanout_subscribers", obs.CountBuckets, obs.L("node", node)),
+		active:     reg.Gauge("pubsub_subscriptions_active", obs.L("node", node)),
+		tracer:     reg.Tracer(),
+	}
+	b.mu.Lock()
+	b.obs = o
+	b.mu.Unlock()
 }
 
 // New returns an empty broker.
@@ -78,8 +116,8 @@ func (b *Broker) Subscribe(channel string, params msg.Map, h Handler) *Subscript
 		channel: channel,
 		params:  msg.Clone(params).(msg.Map),
 		handler: h,
-		active:  true,
 	}
+	sub.active.Store(true)
 	if params == nil {
 		sub.params = nil
 	}
@@ -101,15 +139,38 @@ func (b *Broker) Publish(channel string, m msg.Map) int {
 // messages arriving from remote nodes.
 func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 	b.mu.Lock()
+	o := b.obs
 	subs := make([]*Subscription, 0, len(b.subs[channel]))
 	for _, s := range b.subs[channel] {
-		if s.active {
+		if s.active.Load() {
 			subs = append(subs, s)
 		}
 	}
 	b.mu.Unlock()
 
 	delivered := 0
+	for _, s := range subs {
+		if s.handler != nil {
+			delivered++
+		}
+	}
+	if o != nil {
+		o.publishes.Inc()
+		o.deliveries.Add(int64(delivered))
+		o.fanout.Observe(float64(delivered))
+		// Local publications open a message's lifecycle; remote-originated
+		// ones close it with the receiving broker's fanout. Recorded before
+		// the handlers run: delivery is synchronous, so anything a handler
+		// does (the proxy's enqueue, a chained publish) traces after its
+		// cause.
+		stage := obs.StagePublish
+		detail := "fanout=" + strconv.Itoa(delivered)
+		if origin != "" {
+			stage = obs.StageFanout
+			detail += " origin=" + origin
+		}
+		o.tracer.Record(o.now(), o.node, channel, stage, 0, detail)
+	}
 	for _, s := range subs {
 		if s.handler == nil {
 			continue
@@ -121,7 +182,6 @@ func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 			Params:  s.Params(),
 			Origin:  origin,
 		})
-		delivered++
 	}
 	return delivered
 }
@@ -133,7 +193,7 @@ func (b *Broker) Subscriptions(channel string) []SubscriptionInfo {
 	defer b.mu.Unlock()
 	var out []SubscriptionInfo
 	for _, s := range b.subs[channel] {
-		if s.active {
+		if s.active.Load() {
 			out = append(out, SubscriptionInfo{Channel: channel, Params: s.Params()})
 		}
 	}
@@ -147,7 +207,7 @@ func (b *Broker) HasSubscribers(channel string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, s := range b.subs[channel] {
-		if s.active {
+		if s.active.Load() {
 			return true
 		}
 	}
@@ -162,7 +222,7 @@ func (b *Broker) Channels() []string {
 	var out []string
 	for ch, subs := range b.subs {
 		for _, s := range subs {
-			if s.active {
+			if s.active.Load() {
 				out = append(out, ch)
 				break
 			}
@@ -190,6 +250,17 @@ func (b *Broker) OnSubscriptionChange(channel string, fn func(channel string)) (
 
 func (b *Broker) notifyChange(channel string) {
 	b.mu.Lock()
+	if b.obs != nil {
+		active := 0
+		for _, subs := range b.subs {
+			for _, s := range subs {
+				if s.active.Load() {
+					active++
+				}
+			}
+		}
+		b.obs.active.Set(float64(active))
+	}
 	fns := make([]func(string), 0, len(b.watchers))
 	for _, w := range b.watchers {
 		if w.channel == "" || w.channel == channel {
@@ -227,8 +298,12 @@ type Subscription struct {
 	params  msg.Map
 	handler Handler
 
+	// active is atomic: the broker reads it on every publish (under its own
+	// mutex, not the subscription's), while Release/Renew write it under the
+	// subscription mutex.
+	active atomic.Bool
+
 	mu     sync.Mutex
-	active bool
 	closed bool
 }
 
@@ -247,19 +322,17 @@ func (s *Subscription) Params() msg.Map {
 
 // Active reports whether the subscription currently receives events.
 func (s *Subscription) Active() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.active
+	return s.active.Load()
 }
 
 // Release deactivates the subscription. No-op if already inactive or closed.
 func (s *Subscription) Release() {
 	s.mu.Lock()
-	if s.closed || !s.active {
+	if s.closed || !s.active.Load() {
 		s.mu.Unlock()
 		return
 	}
-	s.active = false
+	s.active.Store(false)
 	s.mu.Unlock()
 	s.broker.notifyChange(s.channel)
 }
@@ -268,11 +341,11 @@ func (s *Subscription) Release() {
 // closed.
 func (s *Subscription) Renew() {
 	s.mu.Lock()
-	if s.closed || s.active {
+	if s.closed || s.active.Load() {
 		s.mu.Unlock()
 		return
 	}
-	s.active = true
+	s.active.Store(true)
 	s.mu.Unlock()
 	s.broker.notifyChange(s.channel)
 }
@@ -285,9 +358,9 @@ func (s *Subscription) Close() {
 		s.mu.Unlock()
 		return
 	}
-	wasActive := s.active
+	wasActive := s.active.Load()
 	s.closed = true
-	s.active = false
+	s.active.Store(false)
 	s.mu.Unlock()
 	s.broker.removeSub(s)
 	if wasActive {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pogo/internal/android"
+	"pogo/internal/obs"
 	"pogo/internal/vclock"
 )
 
@@ -32,6 +33,23 @@ type Scheduler struct {
 	mu     sync.Mutex
 	closed bool
 	timers map[int64]vclock.Timer
+
+	// Instruments; nil (no-op) until Instrument is called.
+	scheduled *obs.Counter
+	ran       *obs.Counter
+}
+
+// Instrument attaches the scheduler to a metrics registry; node labels the
+// metrics. Call before tasks are submitted.
+func (s *Scheduler) Instrument(reg *obs.Registry, node string) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("node", node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scheduled = reg.Counter("sched_tasks_scheduled_total", l)
+	s.ran = reg.Counter("sched_tasks_run_total", l)
 }
 
 // New returns a scheduler. dev may be nil (collector mode).
@@ -57,11 +75,16 @@ func (s *Scheduler) Submit(name string, task func()) {
 // returned Timer cancels the task if it has not started.
 func (s *Scheduler) After(delay time.Duration, name string, task func()) vclock.Timer {
 	id := s.nextID.Add(1)
+	s.mu.Lock()
+	scheduled, ran := s.scheduled, s.ran
+	s.mu.Unlock()
+	scheduled.Inc()
 	run := func() {
 		s.forget(id)
 		if s.isClosed() {
 			return
 		}
+		ran.Inc()
 		if s.dev != nil {
 			lock := "sched-" + name + "-" + strconv.FormatInt(id, 10)
 			s.dev.AcquireWakeLock(lock)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pogo/internal/android"
+	"pogo/internal/obs"
 	"pogo/internal/radio"
 )
 
@@ -43,6 +44,25 @@ type Detector struct {
 	handlers    []func(deltaBytes int64)
 	fires       int
 	polls       int
+
+	// Instruments; nil (no-op) until Instrument is called.
+	obsPolls      *obs.Counter
+	obsFires      *obs.Counter
+	obsDiscounted *obs.Counter
+}
+
+// Instrument attaches the detector to a metrics registry; node labels the
+// metrics. Call before Start.
+func (d *Detector) Instrument(reg *obs.Registry, node string) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("node", node)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obsPolls = reg.Counter("tail_polls_total", l)
+	d.obsFires = reg.Counter("tail_fires_total", l)
+	d.obsDiscounted = reg.Counter("tail_discounted_bytes_total", l)
 }
 
 // New returns a detector polling stats every interval of CPU uptime.
@@ -105,6 +125,7 @@ func (d *Detector) Discount(bytes int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.self += bytes
+	d.obsDiscounted.Add(bytes)
 }
 
 // Fires returns how many times traffic was detected.
@@ -140,6 +161,7 @@ func (d *Detector) poll() {
 		return
 	}
 	d.polls++
+	d.obsPolls.Inc()
 	foreign := cur - d.self
 	delta := foreign - d.lastForeign
 	if foreign > d.lastForeign {
@@ -148,6 +170,7 @@ func (d *Detector) poll() {
 	var handlers []func(int64)
 	if delta > 0 {
 		d.fires++
+		d.obsFires.Inc()
 		handlers = make([]func(int64), len(d.handlers))
 		copy(handlers, d.handlers)
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pogo/internal/msg"
+	"pogo/internal/obs"
 	"pogo/internal/store"
 	"pogo/internal/vclock"
 )
@@ -98,6 +99,59 @@ type EndpointConfig struct {
 	// construction instant. After a reboot (new Endpoint, possibly a fresh
 	// outbox with restarting IDs) peers reset their dedup state for us.
 	BootID string
+	// Obs, when non-nil, receives the endpoint's metrics and lifecycle
+	// trace events (labeled by the messenger's local id). Timestamps come
+	// from the endpoint's clock, so simulated runs trace deterministically.
+	Obs *obs.Registry
+}
+
+// endpointObs bundles the endpoint's instruments. With no registry attached
+// every field is nil, and since all instrument methods are nil-safe the
+// struct is always usable — callers never test for "observability off".
+type endpointObs struct {
+	node       string
+	tracer     *obs.Tracer
+	enqueued   *obs.Counter
+	sent       *obs.Counter
+	acked      *obs.Counter
+	expired    *obs.Counter
+	received   *obs.Counter
+	duplicates *obs.Counter
+	bytesSent  *obs.Counter // data-batch payload bytes only (mirrors Stats.BytesSent)
+	ackBytes   *obs.Counter // ack-envelope bytes, counted separately
+	bytesRecv  *obs.Counter
+	flushes    *obs.Counter
+	sendErrors *obs.Counter
+	batchSize  *obs.Histogram
+	queueDelay *obs.Histogram
+}
+
+func newEndpointObs(reg *obs.Registry, node string) *endpointObs {
+	if reg == nil {
+		return &endpointObs{node: node}
+	}
+	l := obs.L("node", node)
+	return &endpointObs{
+		node:       node,
+		tracer:     reg.Tracer(),
+		enqueued:   reg.Counter("transport_messages_enqueued_total", l),
+		sent:       reg.Counter("transport_messages_sent_total", l),
+		acked:      reg.Counter("transport_messages_acked_total", l),
+		expired:    reg.Counter("transport_messages_expired_total", l),
+		received:   reg.Counter("transport_messages_received_total", l),
+		duplicates: reg.Counter("transport_duplicates_total", l),
+		bytesSent:  reg.Counter("transport_bytes_sent_total", l),
+		ackBytes:   reg.Counter("transport_ack_bytes_sent_total", l),
+		bytesRecv:  reg.Counter("transport_bytes_received_total", l),
+		flushes:    reg.Counter("transport_flushes_total", l),
+		sendErrors: reg.Counter("transport_send_errors_total", l),
+		batchSize:  reg.Histogram("transport_batch_size_messages", obs.CountBuckets, l),
+		queueDelay: reg.Histogram("transport_queue_delay_seconds", obs.DefBuckets, l),
+	}
+}
+
+func (o *endpointObs) record(at time.Time, channel string, stage obs.Stage, id uint64, detail string) {
+	o.tracer.Record(at, o.node, channel, stage, id, detail)
 }
 
 // Endpoint is the reliable batching layer of one node. The zero value is
@@ -115,6 +169,8 @@ type Endpoint struct {
 	boots     map[string]string // peer → last seen boot id
 	inflight  map[uint64]time.Time
 	stats     Stats
+
+	obs *endpointObs // never nil; instruments are nil when cfg.Obs is nil
 }
 
 // NewEndpoint wires a reliable endpoint over messenger m with outbox box.
@@ -134,6 +190,7 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 		seen:     make(map[string]map[uint64]bool),
 		boots:    make(map[string]string),
 		inflight: make(map[uint64]time.Time),
+		obs:      newEndpointObs(cfg.Obs, m.LocalID()),
 	}
 	m.OnReceive(e.receive)
 	return e
@@ -185,12 +242,16 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 	if err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	if _, err := e.box.Add(to, channel, b, e.clk.Now()); err != nil {
+	now := e.clk.Now()
+	id, err := e.box.Add(to, channel, b, now)
+	if err != nil {
 		return fmt.Errorf("transport: enqueue: %w", err)
 	}
 	e.mu.Lock()
 	e.stats.MessagesEnqueued++
 	e.mu.Unlock()
+	e.obs.enqueued.Inc()
+	e.obs.record(now, channel, obs.StageEnqueue, id, "to="+to)
 	return nil
 }
 
@@ -203,6 +264,8 @@ func (e *Endpoint) Flush() int {
 		e.mu.Lock()
 		e.stats.MessagesExpired += dropped
 		e.mu.Unlock()
+		e.obs.expired.Add(int64(dropped))
+		e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(dropped))
 	}
 	if !e.m.Online() {
 		return 0
@@ -223,6 +286,10 @@ func (e *Endpoint) Flush() int {
 	e.stats.Flushes++
 	e.mu.Unlock()
 	sort.Strings(dests)
+	e.obs.flushes.Inc()
+	if len(dests) > 0 {
+		e.obs.record(now, "", obs.StageFlush, 0, "destinations="+strconv.Itoa(len(dests)))
+	}
 
 	sent := 0
 	for _, dest := range dests {
@@ -240,6 +307,7 @@ func (e *Endpoint) Flush() int {
 			continue
 		}
 		if err := e.m.Send(dest, b); err != nil {
+			e.obs.sendErrors.Inc()
 			continue
 		}
 		e.notifyWire(int64(len(b)), 0)
@@ -250,6 +318,13 @@ func (e *Endpoint) Flush() int {
 		e.stats.MessagesSent += len(entries)
 		e.stats.BytesSent += int64(len(b))
 		e.mu.Unlock()
+		e.obs.sent.Add(int64(len(entries)))
+		e.obs.bytesSent.Add(int64(len(b)))
+		e.obs.batchSize.Observe(float64(len(entries)))
+		for _, entry := range entries {
+			e.obs.queueDelay.Observe(now.Sub(entry.Enqueued()).Seconds())
+			e.obs.record(now, entry.Channel, obs.StageSend, entry.ID, "to="+dest)
+		}
 		sent += len(entries)
 	}
 	return sent
@@ -259,6 +334,7 @@ func (e *Endpoint) Flush() int {
 // messages, and ack the batch.
 func (e *Endpoint) receive(from string, payload []byte) {
 	e.notifyWire(0, int64(len(payload)))
+	e.obs.bytesRecv.Add(int64(len(payload)))
 	var env envelope
 	if err := json.Unmarshal(payload, &env); err != nil {
 		return // corrupt payload: drop, sender will retransmit
@@ -271,6 +347,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		}
 		e.stats.MessagesAcked += len(env.Ack)
 		e.mu.Unlock()
+		e.obs.acked.Add(int64(len(env.Ack)))
 	}
 	if len(env.Batch) == 0 {
 		return
@@ -294,10 +371,12 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		seen = make(map[uint64]bool)
 		e.seen[sender] = seen
 	}
+	dups := 0
 	for _, item := range env.Batch {
 		ackIDs = append(ackIDs, item.ID)
 		if seen[item.ID] {
 			e.stats.Duplicates++
+			dups++
 			continue
 		}
 		seen[item.ID] = true
@@ -319,6 +398,14 @@ func (e *Endpoint) receive(from string, payload []byte) {
 	}
 	handler := e.onMessage
 	e.mu.Unlock()
+	e.obs.duplicates.Add(int64(dups))
+	e.obs.received.Add(int64(len(fresh)))
+	if e.obs.tracer != nil {
+		at := e.clk.Now()
+		for _, item := range fresh {
+			e.obs.record(at, item.Channel, obs.StageDeliver, item.ID, "from="+sender)
+		}
+	}
 
 	// Ack immediately; acks are fire-and-forget (a lost ack means a
 	// retransmission, which dedup absorbs).
@@ -326,6 +413,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 	if b, err := json.Marshal(ackEnv); err == nil {
 		if e.m.Send(sender, b) == nil {
 			e.notifyWire(int64(len(b)), 0)
+			e.obs.ackBytes.Add(int64(len(b)))
 		}
 	}
 

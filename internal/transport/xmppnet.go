@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"pogo/internal/obs"
 	"pogo/internal/xmpp"
 )
 
@@ -24,6 +25,38 @@ type XMPPMessenger struct {
 	onPresence []func(peer string, online bool)
 	nextID     int
 	wg         sync.WaitGroup
+
+	// Instruments; nil (no-op) until Instrument is called.
+	connects   *obs.Counter
+	reconnects *obs.Counter
+	sends      *obs.Counter
+	sendErrs   *obs.Counter
+	recvs      *obs.Counter
+	sentBytes  *obs.Counter
+	recvBytes  *obs.Counter
+}
+
+// Instrument attaches the messenger to a metrics registry, labeling its
+// metrics with the local user name. Call before traffic flows.
+func (m *XMPPMessenger) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("node", m.user)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.connects = reg.Counter("xmpp_connects_total", l)
+	m.reconnects = reg.Counter("xmpp_reconnects_total", l)
+	m.sends = reg.Counter("xmpp_stanzas_sent_total", l)
+	m.sendErrs = reg.Counter("xmpp_send_errors_total", l)
+	m.recvs = reg.Counter("xmpp_stanzas_received_total", l)
+	m.sentBytes = reg.Counter("xmpp_bytes_sent_total", l)
+	m.recvBytes = reg.Counter("xmpp_bytes_received_total", l)
+	// DialXMPP connects before the caller can instrument; count the
+	// connection that is already up so connects ≥ 1 on a live messenger.
+	if m.online {
+		m.connects.Inc()
+	}
 }
 
 var _ Messenger = (*XMPPMessenger)(nil)
@@ -48,7 +81,10 @@ func (m *XMPPMessenger) connect() error {
 	c.OnMessage(func(from xmpp.JID, _, body string) {
 		m.mu.Lock()
 		fn := m.onReceive
+		recvs, recvBytes := m.recvs, m.recvBytes
 		m.mu.Unlock()
+		recvs.Inc()
+		recvBytes.Add(int64(len(body)))
 		if fn != nil {
 			fn(from.User(), []byte(body))
 		}
@@ -79,6 +115,7 @@ func (m *XMPPMessenger) connect() error {
 	m.online = true
 	handlers := make([]func(), len(m.onOnline))
 	copy(handlers, m.onOnline)
+	m.connects.Inc()
 	m.mu.Unlock()
 
 	if roster, err := c.Roster(); err == nil {
@@ -106,6 +143,9 @@ func (m *XMPPMessenger) reconnectLoop() {
 			return
 		}
 		if err := m.connect(); err == nil {
+			m.mu.Lock()
+			m.reconnects.Inc()
+			m.mu.Unlock()
 			return
 		}
 		time.Sleep(2 * time.Second)
@@ -129,11 +169,19 @@ func (m *XMPPMessenger) Send(to string, payload []byte) error {
 	online := m.online && !m.closed
 	m.nextID++
 	id := strconv.Itoa(m.nextID)
+	sends, sendErrs, sentBytes := m.sends, m.sendErrs, m.sentBytes
 	m.mu.Unlock()
 	if !online || c == nil {
+		sendErrs.Inc()
 		return ErrOffline
 	}
-	return c.SendMessage(xmpp.MakeJID(to), id, string(payload))
+	if err := c.SendMessage(xmpp.MakeJID(to), id, string(payload)); err != nil {
+		sendErrs.Inc()
+		return err
+	}
+	sends.Inc()
+	sentBytes.Add(int64(len(payload)))
+	return nil
 }
 
 // OnReceive implements Messenger.

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pogo/internal/obs"
 )
 
 // ServerConfig configures a switchboard server.
@@ -20,6 +22,9 @@ type ServerConfig struct {
 	AllowAutoRegister bool
 	// HandshakeTimeout bounds the stream-open + auth exchange. Default 10 s.
 	HandshakeTimeout time.Duration
+	// Obs, when non-nil, receives the switchboard's metrics: live sessions,
+	// stanzas routed, bounces, auth failures.
+	Obs *obs.Registry
 }
 
 // Server is the central XMPP switchboard. It only routes: all application
@@ -36,6 +41,12 @@ type Server struct {
 	sessions map[string]*session        // user → live session (one resource per user)
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Instruments; nil (no-op) when cfg.Obs is nil.
+	obsSessions  *obs.Gauge
+	obsRouted    *obs.Counter
+	obsBounced   *obs.Counter
+	obsAuthFails *obs.Counter
 }
 
 // NewServer returns an unstarted server.
@@ -46,12 +57,19 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		accounts: make(map[string]string),
 		rosters:  make(map[string]map[string]bool),
 		sessions: make(map[string]*session),
 	}
+	if reg := cfg.Obs; reg != nil {
+		s.obsSessions = reg.Gauge("xmpp_server_sessions")
+		s.obsRouted = reg.Counter("xmpp_server_stanzas_routed_total")
+		s.obsBounced = reg.Counter("xmpp_server_bounces_total")
+		s.obsAuthFails = reg.Counter("xmpp_server_auth_failures_total")
+	}
+	return s
 }
 
 // AddAccount registers (or updates) an account.
@@ -280,8 +298,10 @@ func (s *Server) authenticate(auth *authStanza, conn net.Conn) (*session, string
 	case !ok && s.cfg.AllowAutoRegister:
 		s.accounts[auth.User] = auth.Password
 	case !ok:
+		s.obsAuthFails.Inc()
 		return nil, "no-such-account"
 	case pw != auth.Password:
+		s.obsAuthFails.Inc()
 		return nil, "bad-credentials"
 	}
 	if old := s.sessions[auth.User]; old != nil {
@@ -300,6 +320,7 @@ func (s *Server) authenticate(auth *authStanza, conn net.Conn) (*session, string
 		conn: conn,
 	}
 	s.sessions[auth.User] = sess
+	s.obsSessions.Set(float64(len(s.sessions)))
 	return sess, ""
 }
 
@@ -308,6 +329,7 @@ func (s *Server) dropSession(sess *session) {
 	if s.sessions[sess.user] == sess {
 		delete(s.sessions, sess.user)
 	}
+	s.obsSessions.Set(float64(len(s.sessions)))
 	s.mu.Unlock()
 }
 
@@ -325,6 +347,7 @@ func (s *Server) routeMessage(from *session, m messageStanza) {
 		if !allowed {
 			reason = "not-on-roster"
 		}
+		s.obsBounced.Inc()
 		from.send(messageStanza{
 			From: Domain, To: from.jid.String(), ID: m.ID,
 			Type: "error", Body: reason,
@@ -332,11 +355,14 @@ func (s *Server) routeMessage(from *session, m messageStanza) {
 		return
 	}
 	if err := dst.send(m); err != nil {
+		s.obsBounced.Inc()
 		from.send(messageStanza{
 			From: Domain, To: from.jid.String(), ID: m.ID,
 			Type: "error", Body: "delivery-failed",
 		})
+		return
 	}
+	s.obsRouted.Inc()
 }
 
 func (s *Server) handleIQ(sess *session, iq iqStanza) {
