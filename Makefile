@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check stdout-guard
+.PHONY: build test bench check chaos fuzz-smoke stdout-guard
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,26 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # check is the tier-1 gate: vet, the full test suite under the race
-# detector, and the library-stdout guard.
+# detector, the library-stdout guard, and a short fuzz smoke of the two
+# wire-facing parsers.
 check: stdout-guard
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
+# run `go test -fuzz . -fuzztime 5m ./internal/xmpp` (or /msg) for a real
+# session.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/xmpp
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/msg
+
+# chaos replays the seeded fault-injection scenario matrix (drop, duplicate,
+# corrupt, delay, partition, churn at three fault levels) under the race
+# detector, then regenerates the BENCH_chaos.json baseline via pogo-bench.
+chaos:
+	$(GO) test -race -v -run 'Chaos|Soak' ./internal/experiments ./internal/core
+	$(GO) run -race ./cmd/pogo-bench -run chaos -seed 1
 
 # Library packages must never write to stdout/stderr directly — script
 # output goes through core.LogStore and diagnostics through internal/obs.

@@ -26,23 +26,28 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub (broker microbenchmark, not part of all)")
+		run    = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos (benchmarks, not part of all)")
 		days   = flag.Int("days", 24, "table4: experiment length in days")
-		seed   = flag.Int64("seed", 1, "table4: world seed")
+		seed   = flag.Int64("seed", 1, "table4 / chaos: world seed")
+		phones = flag.Int("phones", 50, "chaos: testbed size")
 		freeze = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
 		stats  = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
 	)
 	flag.Parse()
-	if err := runExperiments(*run, *days, *seed, *freeze, *stats); err != nil {
+	if err := runExperiments(*run, *days, *seed, *phones, *freeze, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, days int, seed int64, freeze, stats bool) error {
+func runExperiments(which string, days int, seed int64, phones int, freeze, stats bool) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 	reg := obs.NewRegistry()
+
+	if which == "chaos" {
+		return runChaos(seed, phones)
+	}
 
 	if which == "pubsub" {
 		// Broker fanout microbenchmark: not part of "all" (it measures this
@@ -113,12 +118,46 @@ func runExperiments(which string, days int, seed int64, freeze, stats bool) erro
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", which,
-			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub"}, "|"))
+			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub", "chaos"}, "|"))
 	}
 	if stats {
 		fmt.Println("metrics registry:")
 		obs.WriteText(os.Stdout, reg)
 	}
+	return nil
+}
+
+// runChaos runs the seeded fault-injection scenario matrix and records
+// BENCH_chaos.json. Everything — traffic, faults, churn, retries — runs in
+// simulated time, so the printed report (and the JSON) is a pure function of
+// the seed: `pogo-bench -run chaos -seed 1` twice gives byte-identical
+// output. Not part of "all": it benchmarks the delivery path, not the paper.
+func runChaos(seed int64, phones int) error {
+	results := make([]experiments.ChaosResult, 0, 3)
+	for _, sc := range experiments.ChaosScenarios(seed) {
+		sc.Config.Phones = phones
+		res := experiments.Chaos(sc.Name, sc.Config)
+		results = append(results, res)
+		fmt.Printf("chaos %-6s seed=%d phones=%d: %d/%d delivered, lost=%d dup=%d ooo=%d, retries=%d, %.1f deliveries/sim-s\n",
+			res.Scenario, res.Seed, res.Phones, res.Delivered, res.Expected,
+			res.Lost, res.Duplicated, res.OutOfOrder, res.Retries, res.DeliveriesPerSec)
+		fmt.Printf("  net: sent=%d dropped=%d duplicated=%d corrupted=%d delayed=%d partition_drops=%d disconnects=%d\n",
+			res.NetSent, res.NetDropped, res.NetDuplicated, res.NetCorrupted,
+			res.NetDelayed, res.PartitionDrops, res.Disconnects)
+		fmt.Printf("  delivery log sha256: %s\n", res.LogSHA256)
+		if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
+			return fmt.Errorf("chaos %s violated the delivery guarantee: lost=%d dup=%d ooo=%d undrained=%d",
+				res.Scenario, res.Lost, res.Duplicated, res.OutOfOrder, res.Undrained)
+		}
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_chaos.json", append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("baseline written to BENCH_chaos.json")
 	return nil
 }
 

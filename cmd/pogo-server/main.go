@@ -37,23 +37,26 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:5222", "TCP listen address")
 		autoReg = flag.Bool("auto-register", true, "create accounts on first login (the paper's zero-registration model)")
 		metrics = flag.String("metrics", "", "serve /metrics, /trace, /stats on this address (e.g. 127.0.0.1:8622); empty disables")
+		offline = flag.Int("offline-queue", 64, "stanzas buffered per offline user and replayed on the next session; 0 bounces instead")
 		assoc   associations
 	)
 	flag.Var(&assoc, "associate", "researcher=dev1,dev2 (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *autoReg, *metrics, assoc); err != nil {
+	if err := run(*addr, *autoReg, *metrics, *offline, assoc); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, autoReg bool, metricsAddr string, assoc associations) error {
+func run(addr string, autoReg bool, metricsAddr string, offlineQueue int, assoc associations) error {
 	var reg *obs.Registry
 	if metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	srv := xmpp.NewServer(xmpp.ServerConfig{Addr: addr, AllowAutoRegister: autoReg, Obs: reg})
+	srv := xmpp.NewServer(xmpp.ServerConfig{
+		Addr: addr, AllowAutoRegister: autoReg, OfflineQueue: offlineQueue, Obs: reg,
+	})
 	for _, a := range assoc {
 		parts := strings.SplitN(a, "=", 2)
 		if len(parts) != 2 {

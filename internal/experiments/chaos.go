@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pogo/internal/faultnet"
+	"pogo/internal/msg"
+	"pogo/internal/obs"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+// ChaosConfig drives a seeded fault-injection run: a testbed of phones
+// uploading to one collector (and receiving commands back) across a faultnet
+// that drops, duplicates, corrupts, delays, partitions, and churns. The run
+// is fully deterministic in the seed: everything is scheduled on a simulated
+// clock and every random draw comes from faultnet's seeded RNG.
+type ChaosConfig struct {
+	Seed             int64
+	Phones           int           // default 50
+	MessagesPerPhone int           // phone → collector uploads; default 20
+	CommandsPerPhone int           // collector → phone commands; default 3
+	Window           time.Duration // traffic injection window; default 10 min
+	Step             time.Duration // flush/advance granularity; default 5 s
+
+	// Fault mix, applied to every link for the whole window.
+	Drop      float64
+	Duplicate float64
+	Corrupt   float64
+	MaxDelay  time.Duration
+
+	// Churn: phones disconnect/reconnect with these mean up/down times
+	// (exponentially distributed, seeded). Zero disables churn.
+	MeanUp, MeanDown time.Duration
+
+	// PartitionFrac of the phones are asymmetrically cut off from the
+	// collector during the middle third of the window, then healed.
+	PartitionFrac float64
+
+	RetryAfter time.Duration // endpoint retransmission base; default 15 s
+	Obs        *obs.Registry
+}
+
+// ChaosResult reports a chaos run. Lost/Duplicated/OutOfOrder are the
+// headline numbers: the hardened delivery path must hold them at zero for
+// every scenario in the matrix. Log is the full delivery log in arrival
+// order (one line per application-level delivery); LogSHA256 fingerprints it
+// so two runs can be compared for bit-for-bit reproducibility without
+// shipping the log itself in BENCH_chaos.json.
+type ChaosResult struct {
+	Scenario         string  `json:"scenario"`
+	Seed             int64   `json:"seed"`
+	Phones           int     `json:"phones"`
+	MessagesPerPhone int     `json:"messages_per_phone"`
+	CommandsPerPhone int     `json:"commands_per_phone"`
+	Expected         int     `json:"expected_deliveries"`
+	Delivered        int     `json:"delivered"`
+	Lost             int     `json:"lost"`
+	Duplicated       int     `json:"duplicated"`
+	OutOfOrder       int     `json:"out_of_order"`
+	Undrained        int     `json:"undrained"` // outbox entries still pending at the end
+	Retries          int     `json:"retries"`
+	CorruptDropped   int     `json:"corrupt_dropped"`
+	NetSent          int     `json:"net_sent"`
+	NetDropped       int     `json:"net_dropped"`
+	NetDuplicated    int     `json:"net_duplicated"`
+	NetCorrupted     int     `json:"net_corrupted"`
+	NetDelayed       int     `json:"net_delayed"`
+	PartitionDrops   int     `json:"net_partition_drops"`
+	Disconnects      int     `json:"disconnects"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sim_second"`
+	LogSHA256        string  `json:"log_sha256"`
+	Log              []string `json:"-"`
+}
+
+// ChaosScenario pairs a name with its fault mix for the scenario matrix.
+type ChaosScenario struct {
+	Name   string
+	Config ChaosConfig
+}
+
+// ChaosScenarios is the benchmark matrix at three fault levels. The same
+// traffic pattern runs under progressively nastier networks; BENCH_chaos.json
+// records how throughput and retry cost degrade while losses stay at zero.
+func ChaosScenarios(seed int64) []ChaosScenario {
+	return []ChaosScenario{
+		{Name: "light", Config: ChaosConfig{
+			Seed: seed,
+			Drop: 0.05, Duplicate: 0.02, Corrupt: 0.01, MaxDelay: 50 * time.Millisecond,
+		}},
+		{Name: "medium", Config: ChaosConfig{
+			Seed: seed,
+			Drop: 0.20, Duplicate: 0.10, Corrupt: 0.05, MaxDelay: 200 * time.Millisecond,
+			MeanUp: 3 * time.Minute, MeanDown: 20 * time.Second,
+		}},
+		{Name: "heavy", Config: ChaosConfig{
+			Seed: seed,
+			Drop: 0.40, Duplicate: 0.20, Corrupt: 0.10, MaxDelay: 500 * time.Millisecond,
+			MeanUp: 90 * time.Second, MeanDown: 45 * time.Second,
+			PartitionFrac: 0.2,
+		}},
+	}
+}
+
+const chaosCollector = "collector"
+
+func chaosPhoneName(i int) string { return fmt.Sprintf("phone%02d", i) }
+
+// Chaos runs one seeded scenario and audits every delivery. See ChaosConfig
+// for the knobs; zero-valued fields take the documented defaults.
+func Chaos(name string, cfg ChaosConfig) ChaosResult {
+	if cfg.Phones == 0 {
+		cfg.Phones = 50
+	}
+	if cfg.MessagesPerPhone == 0 {
+		cfg.MessagesPerPhone = 20
+	}
+	if cfg.CommandsPerPhone == 0 {
+		cfg.CommandsPerPhone = 3
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 10 * time.Minute
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 5 * time.Second
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = 15 * time.Second
+	}
+
+	clk := vclock.NewSim()
+	start := clk.Now()
+	sb := transport.NewSwitchboard(clk)
+	net := faultnet.New(clk, faultnet.Config{
+		Seed: cfg.Seed,
+		Drop: cfg.Drop, Duplicate: cfg.Duplicate, Corrupt: cfg.Corrupt,
+		MaxDelay: cfg.MaxDelay,
+		Obs:      cfg.Obs,
+	})
+
+	var log []string
+	record := func(at, from, channel string, payload msg.Value) {
+		n := -1
+		if m, ok := payload.(msg.Map); ok {
+			if f, ok := m["n"].(float64); ok {
+				n = int(f)
+			}
+		}
+		log = append(log, fmt.Sprintf("%s <- %s %s %d", at, from, channel, n))
+	}
+
+	// The collector: a plain (never-churned) port behind the same faultnet,
+	// so its acks and commands suffer the fault mix too.
+	collFault := net.Wrap(sb.Port(chaosCollector, nil))
+	collEP := transport.NewEndpoint(collFault, store.OpenMemory(), clk, transport.EndpointConfig{
+		RetryAfter: cfg.RetryAfter, BootID: "chaos-" + chaosCollector, Obs: cfg.Obs,
+	})
+	collEP.OnMessage(func(from, channel string, payload msg.Value) {
+		record(chaosCollector, from, channel, payload)
+	})
+
+	phones := make([]*transport.Endpoint, cfg.Phones)
+	faults := make([]*faultnet.Fault, cfg.Phones)
+	stops := make([]func(), 0, cfg.Phones)
+	for i := 0; i < cfg.Phones; i++ {
+		id := chaosPhoneName(i)
+		sb.Associate(id, chaosCollector)
+		f := net.Wrap(sb.Port(id, nil))
+		faults[i] = f
+		ep := transport.NewEndpoint(f, store.OpenMemory(), clk, transport.EndpointConfig{
+			RetryAfter: cfg.RetryAfter, BootID: "chaos-" + id, Obs: cfg.Obs,
+		})
+		me := id
+		ep.OnMessage(func(from, channel string, payload msg.Value) {
+			record(me, from, channel, payload)
+		})
+		phones[i] = ep
+		if cfg.MeanUp > 0 && cfg.MeanDown > 0 {
+			stops = append(stops, net.Churn(f, cfg.MeanUp, cfg.MeanDown))
+		}
+	}
+
+	flushAll := func() int {
+		pending := 0
+		for _, ep := range phones {
+			ep.Flush()
+			pending += ep.Pending()
+		}
+		collEP.Flush()
+		pending += collEP.Pending()
+		return pending
+	}
+
+	// Injection window: enqueue traffic on a fixed schedule, flush, advance.
+	iters := int(cfg.Window / cfg.Step)
+	if iters < 1 {
+		iters = 1
+	}
+	cut := int(float64(cfg.Phones) * cfg.PartitionFrac)
+	for k := 0; k < iters; k++ {
+		if cut > 0 && k == iters/3 {
+			for i := 0; i < cut; i++ {
+				net.PartitionPair(chaosPhoneName(i), chaosCollector)
+			}
+		}
+		if cut > 0 && k == 2*iters/3 {
+			net.HealAll()
+		}
+		for i := 0; i < cfg.Phones; i++ {
+			id := chaosPhoneName(i)
+			for j := 0; j < cfg.MessagesPerPhone; j++ {
+				at := (j*iters)/cfg.MessagesPerPhone + i%5 // staggered across phones
+				if at >= iters {
+					at = iters - 1
+				}
+				if at == k {
+					phones[i].Enqueue(chaosCollector, "upload", msg.Map{"n": float64(j)})
+				}
+			}
+			for j := 0; j < cfg.CommandsPerPhone; j++ {
+				if (j*iters)/cfg.CommandsPerPhone == k {
+					collEP.Enqueue(id, "cmd", msg.Map{"n": float64(j)})
+				}
+			}
+		}
+		flushAll()
+		clk.Advance(cfg.Step)
+	}
+
+	// Drain: faults off, partitions healed, churned phones reconnected. With
+	// eventual connectivity the retransmission path must deliver everything.
+	for _, stop := range stops {
+		stop()
+	}
+	net.Calm()
+	net.HealAll()
+	undrained := 0
+	for k := 0; k < 600; k++ {
+		undrained = flushAll()
+		if undrained == 0 {
+			break
+		}
+		clk.Advance(cfg.Step)
+	}
+	clk.Advance(2 * cfg.MaxDelay) // let straggling delayed duplicates land
+
+	res := ChaosResult{
+		Scenario: name, Seed: cfg.Seed, Phones: cfg.Phones,
+		MessagesPerPhone: cfg.MessagesPerPhone, CommandsPerPhone: cfg.CommandsPerPhone,
+		Expected:  cfg.Phones * (cfg.MessagesPerPhone + cfg.CommandsPerPhone),
+		Delivered: len(log),
+		Undrained: undrained,
+		Log:       log,
+	}
+	for _, ep := range phones {
+		st := ep.Stats()
+		res.Retries += st.Retries
+		res.CorruptDropped += st.CorruptDropped
+	}
+	cst := collEP.Stats()
+	res.Retries += cst.Retries
+	res.CorruptDropped += cst.CorruptDropped
+	ns := net.Stats()
+	res.NetSent, res.NetDropped, res.NetDuplicated = ns.Sent, ns.Dropped, ns.Duplicated
+	res.NetCorrupted, res.NetDelayed = ns.Corrupted, ns.Delayed
+	res.PartitionDrops = ns.PartitionDrops
+	res.Disconnects = ns.Disconnects
+
+	res.Lost, res.Duplicated, res.OutOfOrder = auditChaosLog(log, cfg)
+
+	res.SimSeconds = clk.Now().Sub(start).Seconds()
+	if res.SimSeconds > 0 {
+		res.DeliveriesPerSec = float64(res.Delivered) / res.SimSeconds
+	}
+	sum := sha256.Sum256([]byte(strings.Join(log, "\n")))
+	res.LogSHA256 = hex.EncodeToString(sum[:])
+	return res
+}
+
+// auditChaosLog checks every (receiver, sender, channel) stream for
+// exactly-once FIFO delivery of sequences 0..n-1.
+func auditChaosLog(log []string, cfg ChaosConfig) (lost, dup, ooo int) {
+	streams := make(map[string][]int)
+	for _, line := range log {
+		var at, from, channel string
+		var n int
+		if _, err := fmt.Sscanf(line, "%s <- %s %s %d", &at, &from, &channel, &n); err != nil {
+			continue
+		}
+		key := at + "|" + from + "|" + channel
+		streams[key] = append(streams[key], n)
+	}
+	audit := func(got []int, want int) {
+		counts := make(map[int]int)
+		for _, s := range got {
+			counts[s]++
+		}
+		for s := 0; s < want; s++ {
+			switch c := counts[s]; {
+			case c == 0:
+				lost++
+			case c > 1:
+				dup += c - 1
+			}
+		}
+		if !sort.IntsAreSorted(got) {
+			ooo++
+		}
+	}
+	for i := 0; i < cfg.Phones; i++ {
+		id := chaosPhoneName(i)
+		audit(streams[chaosCollector+"|"+id+"|upload"], cfg.MessagesPerPhone)
+		audit(streams[id+"|"+chaosCollector+"|cmd"], cfg.CommandsPerPhone)
+	}
+	return lost, dup, ooo
+}

@@ -1,0 +1,62 @@
+package msg
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks that any input DecodeJSON accepts round-trips through
+// the codec: decode → encode → decode must converge to an Equal value.
+// Payloads reach DecodeJSON straight off the wire (transport envelopes), so
+// the decoder must hold this invariant for arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	seeds := []Value{
+		nil,
+		true,
+		42.0,
+		-0.5,
+		1e-9,
+		123456789012345678.0,
+		"hello",
+		"unicode ✓ and \"quotes\"",
+		[]Value{},
+		[]Value{1.0, "two", nil, false},
+		Map{},
+		Map{"wifi": Map{"rssi": -61.0, "ssid": "eduroam"}, "tags": []Value{"a", "b"}},
+	}
+	for _, v := range seeds {
+		b, err := EncodeJSON(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"truncated":`))
+	f.Add([]byte(`1e999`))
+	f.Add([]byte("\x00\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeJSON(data)
+		if err != nil {
+			return // rejecting garbage is fine; crashing is not
+		}
+		b, err := EncodeJSON(v)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v (input %q)", err, data)
+		}
+		v2, err := DecodeJSON(b)
+		if err != nil {
+			t.Fatalf("own encoding does not decode: %v (encoded %q)", err, b)
+		}
+		if !Equal(v, v2) {
+			t.Errorf("round-trip diverged:\n in: %#v\nout: %#v\n(wire %q)", v, v2, b)
+		}
+		// Deterministic encoding: a second encode must be byte-identical.
+		b2, err := EncodeJSON(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("encoding not canonical: %q vs %q", b, b2)
+		}
+	})
+}

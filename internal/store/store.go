@@ -33,8 +33,12 @@ type Entry struct {
 	ID uint64 `json:"id"`
 	// To is the destination peer (bare JID user) the message is addressed
 	// to; device messages go to their collector and vice versa.
-	To         string `json:"to"`
-	Channel    string `json:"ch"`
+	To      string `json:"to"`
+	Channel string `json:"ch"`
+	// Seq is the sender's per-(To,Channel) FIFO sequence number, assigned by
+	// the transport endpoint. It survives reboots with the entry so the
+	// receiver's ordered-delivery state stays coherent across replays.
+	Seq        uint64 `json:"seq"`
 	Payload    []byte `json:"payload"`
 	EnqueuedAt int64  `json:"at"` // UnixMilli
 }
@@ -124,10 +128,10 @@ func (o *Outbox) replay() error {
 	return sc.Err()
 }
 
-// Add buffers a message addressed to peer `to`, returning its ID. at is the
-// enqueue instant (the node's clock, so simulated runs age messages in
-// simulated time).
-func (o *Outbox) Add(to, channel string, payload []byte, at time.Time) (uint64, error) {
+// Add buffers a message addressed to peer `to`, returning its ID. seq is the
+// sender's per-(to,channel) FIFO sequence number; at is the enqueue instant
+// (the node's clock, so simulated runs age messages in simulated time).
+func (o *Outbox) Add(to, channel string, seq uint64, payload []byte, at time.Time) (uint64, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
@@ -137,6 +141,7 @@ func (o *Outbox) Add(to, channel string, payload []byte, at time.Time) (uint64, 
 		ID:         o.nextID,
 		To:         to,
 		Channel:    channel,
+		Seq:        seq,
 		Payload:    append([]byte(nil), payload...),
 		EnqueuedAt: at.UnixMilli(),
 	}
@@ -188,18 +193,20 @@ func (o *Outbox) Len() int {
 }
 
 // PurgeExpired drops entries enqueued more than maxAge before now and
-// returns how many were dropped. maxAge ≤ 0 means no purging.
-func (o *Outbox) PurgeExpired(now time.Time, maxAge time.Duration) (int, error) {
+// returns the dropped entries in ID order — the transport endpoint needs
+// them to advance its per-channel delivery floors. maxAge ≤ 0 disables
+// purging.
+func (o *Outbox) PurgeExpired(now time.Time, maxAge time.Duration) ([]Entry, error) {
 	if maxAge <= 0 {
-		return 0, nil
+		return nil, nil
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
-		return 0, ErrClosed
+		return nil, ErrClosed
 	}
 	cutoff := now.Add(-maxAge).UnixMilli()
-	dropped := 0
+	var dropped []Entry
 	for id, e := range o.entries {
 		if e.EnqueuedAt < cutoff {
 			if err := o.appendLocked(record{Op: "del", Entry: Entry{ID: id}}); err != nil {
@@ -207,9 +214,10 @@ func (o *Outbox) PurgeExpired(now time.Time, maxAge time.Duration) (int, error) 
 			}
 			delete(o.entries, id)
 			o.dead++
-			dropped++
+			dropped = append(dropped, e)
 		}
 	}
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i].ID < dropped[j].ID })
 	if err := o.maybeCompactLocked(); err != nil {
 		return dropped, err
 	}

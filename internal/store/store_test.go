@@ -41,7 +41,7 @@ func TestAddPendingAckFIFO(t *testing.T) {
 	defer o.Close()
 	now := vclock.SimEpoch
 	for i := 0; i < 3; i++ {
-		if _, err := o.Add("collector", "clusters", []byte(fmt.Sprintf(`{"i":%d}`, i)), now); err != nil {
+		if _, err := o.Add("collector", "clusters", uint64(i), []byte(fmt.Sprintf(`{"i":%d}`, i)), now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ func TestAckUnknownIDIgnored(t *testing.T) {
 func TestPayloadCopied(t *testing.T) {
 	o := OpenMemory()
 	buf := []byte("hello")
-	o.Add("c", "ch", buf, vclock.SimEpoch)
+	o.Add("c", "ch", 0, buf, vclock.SimEpoch)
 	buf[0] = 'X'
 	if string(o.Pending()[0].Payload) != "hello" {
 		t.Error("payload aliases caller's buffer")
@@ -86,8 +86,8 @@ func TestPayloadCopied(t *testing.T) {
 func TestRecoveryAfterReopen(t *testing.T) {
 	o, path := openTemp(t)
 	now := vclock.SimEpoch
-	id1, _ := o.Add("c", "a", []byte("one"), now)
-	id2, _ := o.Add("c", "b", []byte("two"), now.Add(time.Second))
+	id1, _ := o.Add("c", "a", 0, []byte("one"), now)
+	id2, _ := o.Add("c", "b", 0, []byte("two"), now.Add(time.Second))
 	o.Ack(id1)
 	if err := o.Close(); err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestRecoveryAfterReopen(t *testing.T) {
 		t.Errorf("Enqueued = %v", p[0].Enqueued())
 	}
 	// IDs must not be reused after recovery.
-	id3, _ := o2.Add("c", "c", []byte("three"), now)
+	id3, _ := o2.Add("c", "c", 1, []byte("three"), now)
 	if id3 <= id2 {
 		t.Errorf("id3 = %d not beyond %d", id3, id2)
 	}
@@ -115,7 +115,7 @@ func TestRecoveryAfterReopen(t *testing.T) {
 
 func TestRecoveryToleratesTornTail(t *testing.T) {
 	o, path := openTemp(t)
-	o.Add("c", "a", []byte("one"), vclock.SimEpoch)
+	o.Add("c", "a", 0, []byte("one"), vclock.SimEpoch)
 	o.Close()
 	// Simulate a crash mid-write: append garbage.
 	f, err := openAppend(path)
@@ -139,22 +139,22 @@ func TestPurgeExpired(t *testing.T) {
 	o, _ := openTemp(t)
 	defer o.Close()
 	t0 := vclock.SimEpoch
-	o.Add("c", "old", []byte("x"), t0)
-	o.Add("c", "new", []byte("y"), t0.Add(23*time.Hour))
+	o.Add("c", "old", 0, []byte("x"), t0)
+	o.Add("c", "new", 1, []byte("y"), t0.Add(23*time.Hour))
 	dropped, err := o.PurgeExpired(t0.Add(25*time.Hour), DefaultMaxAge)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dropped != 1 {
-		t.Errorf("dropped = %d, want 1", dropped)
+	if len(dropped) != 1 || dropped[0].Channel != "old" {
+		t.Errorf("dropped = %+v, want the single stale entry", dropped)
 	}
 	p := o.Pending()
 	if len(p) != 1 || p[0].Channel != "new" {
 		t.Errorf("Pending = %+v", p)
 	}
 	// maxAge <= 0 disables purging.
-	if d, _ := o.PurgeExpired(t0.Add(1000*time.Hour), 0); d != 0 {
-		t.Errorf("purge with maxAge=0 dropped %d", d)
+	if d, _ := o.PurgeExpired(t0.Add(1000*time.Hour), 0); len(d) != 0 {
+		t.Errorf("purge with maxAge=0 dropped %d", len(d))
 	}
 }
 
@@ -164,12 +164,17 @@ func TestPurgeRoamingScenario(t *testing.T) {
 	o := OpenMemory()
 	t0 := vclock.SimEpoch
 	for h := 0; h < 72; h++ {
-		o.Add("col", "clusters", []byte("c"), t0.Add(time.Duration(h)*time.Hour))
+		o.Add("col", "clusters", uint64(h), []byte("c"), t0.Add(time.Duration(h)*time.Hour))
 	}
 	now := t0.Add(72 * time.Hour)
 	dropped, _ := o.PurgeExpired(now, DefaultMaxAge)
-	if dropped != 48 {
-		t.Errorf("dropped = %d, want 48", dropped)
+	if len(dropped) != 48 {
+		t.Errorf("dropped = %d, want 48", len(dropped))
+	}
+	for i := 1; i < len(dropped); i++ {
+		if dropped[i].ID <= dropped[i-1].ID {
+			t.Fatal("dropped entries not in ID order")
+		}
 	}
 	if o.Len() != 24 {
 		t.Errorf("Len = %d, want 24", o.Len())
@@ -182,7 +187,7 @@ func TestClosedOperations(t *testing.T) {
 	if err := o.Close(); err != nil {
 		t.Errorf("second Close = %v", err)
 	}
-	if _, err := o.Add("c", "a", nil, vclock.SimEpoch); err != ErrClosed {
+	if _, err := o.Add("c", "a", 0, nil, vclock.SimEpoch); err != ErrClosed {
 		t.Errorf("Add after close = %v", err)
 	}
 	if err := o.Ack(1); err != ErrClosed {
@@ -198,7 +203,7 @@ func TestCompaction(t *testing.T) {
 	now := vclock.SimEpoch
 	var ids []uint64
 	for i := 0; i < 300; i++ {
-		id, _ := o.Add("c", "ch", []byte("payload-padding-padding"), now)
+		id, _ := o.Add("c", "ch", uint64(i), []byte("payload-padding-padding"), now)
 		ids = append(ids, id)
 	}
 	o.Ack(ids[:290]...)
@@ -224,12 +229,54 @@ func TestCompaction(t *testing.T) {
 func TestMemoryOutboxNoFiles(t *testing.T) {
 	o := OpenMemory()
 	defer o.Close()
-	id, err := o.Add("c", "ch", []byte("x"), vclock.SimEpoch)
+	id, err := o.Add("c", "ch", 0, []byte("x"), vclock.SimEpoch)
 	if err != nil || id != 1 {
 		t.Fatalf("Add = %d, %v", id, err)
 	}
 	if o.Len() != 1 {
 		t.Error("memory outbox lost entry")
+	}
+}
+
+// TestSeqSurvivesReplayAfterReconnect is the reboot half of §4.6: a phone
+// dies with unacked messages buffered, comes back, and the replayed entries
+// must carry their original FIFO sequence numbers so the receiver's ordered
+// delivery state stays coherent.
+func TestSeqSurvivesReplayAfterReconnect(t *testing.T) {
+	o, path := openTemp(t)
+	now := vclock.SimEpoch
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		id, err := o.Add("col", "battery", uint64(i), []byte(fmt.Sprintf("m%d", i)), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// The first half was delivered and acked before the battery died.
+	if err := o.Ack(ids[:3]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	p := o2.Pending()
+	if len(p) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(p))
+	}
+	for i, e := range p {
+		if e.Seq != uint64(i+3) {
+			t.Errorf("entry %d: Seq = %d, want %d", i, e.Seq, i+3)
+		}
+		if string(e.Payload) != fmt.Sprintf("m%d", i+3) {
+			t.Errorf("entry %d: payload = %s", i, e.Payload)
+		}
 	}
 }
 
@@ -258,7 +305,7 @@ func TestPropertyAddAckRecover(t *testing.T) {
 		var live []uint64
 		for _, add := range ops {
 			if add {
-				id, err := o.Add("c", "ch", []byte("p"), vclock.SimEpoch)
+				id, err := o.Add("c", "ch", 0, []byte("p"), vclock.SimEpoch)
 				if err != nil {
 					return false
 				}

@@ -3,124 +3,97 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"reflect"
-	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"pogo/internal/faultnet"
 	"pogo/internal/msg"
 	"pogo/internal/store"
 	"pogo/internal/vclock"
 )
 
-// lossyMessenger drops payloads with a seeded probability — the stale-TCP /
-// interface-handover loss the paper builds end-to-end acks against (§4.6).
-type lossyMessenger struct {
-	id   string
-	rng  *rand.Rand
-	drop float64
-	clk  vclock.Clock
+// The fault layer must be a drop-in Messenger so chaos tests can wrap real
+// switchboard ports (and, structurally, any other messenger).
+var _ Messenger = (*faultnet.Fault)(nil)
 
-	mu        sync.Mutex
-	peer      *lossyMessenger
-	onReceive func(from string, payload []byte)
-	dropped   int
+// faultPair builds two wired switchboard ports, "a" and "b", wrapped in one
+// fault domain.
+func faultPair(clk *vclock.Sim, cfg faultnet.Config) (*faultnet.Net, *faultnet.Fault, *faultnet.Fault) {
+	sb := NewSwitchboard(clk)
+	sb.Associate("a", "b")
+	net := faultnet.New(clk, cfg)
+	return net, net.Wrap(sb.Port("a", nil)), net.Wrap(sb.Port("b", nil))
 }
 
-var _ Messenger = (*lossyMessenger)(nil)
-
-func lossyPair(clk vclock.Clock, seed int64, drop float64) (*lossyMessenger, *lossyMessenger) {
-	a := &lossyMessenger{id: "a", rng: rand.New(rand.NewSource(seed)), drop: drop, clk: clk}
-	b := &lossyMessenger{id: "b", rng: rand.New(rand.NewSource(seed + 1)), drop: drop, clk: clk}
-	a.peer, b.peer = b, a
-	return a, b
-}
-
-func (m *lossyMessenger) LocalID() string { return m.id }
-func (m *lossyMessenger) Online() bool    { return true }
-func (m *lossyMessenger) Peers() []string { return []string{m.peer.id} }
-
-func (m *lossyMessenger) Send(to string, payload []byte) error {
-	if m.rng.Float64() < m.drop {
-		m.mu.Lock()
-		m.dropped++
-		m.mu.Unlock()
-		return nil // silently lost, like a stale TCP session
-	}
-	body := append([]byte(nil), payload...)
-	peer := m.peer
-	m.clk.AfterFunc(5*time.Millisecond, func() {
-		peer.mu.Lock()
-		fn := peer.onReceive
-		peer.mu.Unlock()
-		if fn != nil {
-			fn(m.id, body)
-		}
-	})
-	return nil
-}
-
-func (m *lossyMessenger) OnReceive(fn func(string, []byte)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.onReceive = fn
-}
-func (m *lossyMessenger) OnOnline(func())               {}
-func (m *lossyMessenger) OnPresence(func(string, bool)) {}
-
-// Property: over a lossy link with periodic retries, every message is
-// delivered exactly once, in order of eventual arrival, regardless of the
-// drop pattern.
-func TestPropertyExactlyOnceOverLossyLink(t *testing.T) {
+// Property: for any seeded fault schedule (drop, duplicate, corrupt, delay
+// jitter) with eventual connectivity, every message is delivered exactly
+// once and each channel arrives in FIFO order.
+func TestPropertyExactlyOncePerChannelFIFO(t *testing.T) {
 	cfg := &quick.Config{
-		MaxCount: 40,
+		MaxCount: 25,
 		Values: func(args []reflect.Value, r *rand.Rand) {
 			args[0] = reflect.ValueOf(r.Int63())
-			args[1] = reflect.ValueOf(r.Intn(60)) // drop percentage 0-59
-			args[2] = reflect.ValueOf(1 + r.Intn(30))
+			args[1] = reflect.ValueOf(r.Intn(50))     // drop pct
+			args[2] = reflect.ValueOf(r.Intn(40))     // duplicate pct
+			args[3] = reflect.ValueOf(r.Intn(30))     // corrupt pct
+			args[4] = reflect.ValueOf(1 + r.Intn(25)) // messages per channel
 		},
 	}
-	prop := func(seed int64, dropPct, count int) bool {
+	channels := []string{"battery", "clusters"}
+	prop := func(seed int64, dropPct, dupPct, corruptPct, perChan int) bool {
 		clk := vclock.NewSim()
-		ma, mb := lossyPair(clk, seed, float64(dropPct)/100)
-		epA := NewEndpoint(ma, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
-		epB := NewEndpoint(mb, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
-
-		var got []float64
-		seen := map[float64]bool{}
-		epB.OnMessage(func(_, _ string, payload msg.Value) {
-			n, _ := msg.GetNumber(payload.(msg.Map), "n")
-			if seen[n] {
-				return // duplicate delivery would fail below via count
-			}
-			seen[n] = true
-			got = append(got, n)
+		net, fa, fb := faultPair(clk, faultnet.Config{
+			Seed:      seed,
+			Drop:      float64(dropPct) / 100,
+			Duplicate: float64(dupPct) / 100,
+			Corrupt:   float64(corruptPct) / 100,
+			MaxDelay:  120 * time.Millisecond,
 		})
-
-		for i := 0; i < count; i++ {
-			if err := epA.Enqueue("b", "ch", msg.Map{"n": float64(i)}); err != nil {
-				return false
+		epA := NewEndpoint(fa, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
+		epB := NewEndpoint(fb, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
+		got := map[string][]float64{}
+		epB.OnMessage(func(_, ch string, payload msg.Value) {
+			n, _ := msg.GetNumber(payload.(msg.Map), "n")
+			got[ch] = append(got[ch], n)
+		})
+		for i := 0; i < perChan; i++ {
+			for _, ch := range channels {
+				if err := epA.Enqueue("b", ch, msg.Map{"n": float64(i)}); err != nil {
+					return false
+				}
 			}
 		}
-		// Retry loop: flush every 3 s of simulated time for up to 10 min.
-		for i := 0; i < 200 && epA.Pending() > 0; i++ {
+		// Faulty phase: flush periodically while the net misbehaves.
+		for i := 0; i < 60; i++ {
+			epA.Flush()
+			clk.Advance(3 * time.Second)
+		}
+		// Eventual connectivity: the faults stop, delivery must complete.
+		net.Calm()
+		for i := 0; i < 300 && epA.Pending() > 0; i++ {
 			epA.Flush()
 			clk.Advance(3 * time.Second)
 		}
 		if epA.Pending() != 0 {
-			t.Logf("seed=%d drop=%d: %d undelivered", seed, dropPct, epA.Pending())
+			t.Logf("seed=%d drop=%d dup=%d corrupt=%d: %d undelivered",
+				seed, dropPct, dupPct, corruptPct, epA.Pending())
 			return false
 		}
-		if len(got) != count {
-			t.Logf("seed=%d drop=%d: delivered %d of %d", seed, dropPct, len(got), count)
-			return false
-		}
-		// Exactly-once: the endpoint's own duplicate counter may grow (the
-		// wire saw retransmits) but the application saw each message once.
-		if st := epB.Stats(); st.MessagesReceived != count {
-			t.Logf("MessagesReceived=%d", st.MessagesReceived)
-			return false
+		for _, ch := range channels {
+			ns := got[ch]
+			if len(ns) != perChan {
+				t.Logf("seed=%d: channel %s delivered %d of %d", seed, ch, len(ns), perChan)
+				return false
+			}
+			for i, n := range ns {
+				if n != float64(i) {
+					t.Logf("seed=%d: channel %s position %d = %v (FIFO violated)", seed, ch, i, n)
+					return false
+				}
+			}
 		}
 		return true
 	}
@@ -129,13 +102,20 @@ func TestPropertyExactlyOnceOverLossyLink(t *testing.T) {
 	}
 }
 
-// Determinism: identical seeds must give byte-identical transport traces.
+// Determinism: identical seeds must give identical transport stats, fault
+// stats, and delivery counts.
 func TestLossyRunDeterministic(t *testing.T) {
-	run := func() (Stats, int) {
+	run := func() (Stats, faultnet.Stats, int) {
 		clk := vclock.NewSim()
-		ma, mb := lossyPair(clk, 99, 0.3)
-		epA := NewEndpoint(ma, store.OpenMemory(), clk, EndpointConfig{RetryAfter: time.Second})
-		epB := NewEndpoint(mb, store.OpenMemory(), clk, EndpointConfig{})
+		net, fa, fb := faultPair(clk, faultnet.Config{
+			Seed:      99,
+			Drop:      0.3,
+			Duplicate: 0.15,
+			Corrupt:   0.1,
+			MaxDelay:  40 * time.Millisecond,
+		})
+		epA := NewEndpoint(fa, store.OpenMemory(), clk, EndpointConfig{RetryAfter: time.Second})
+		epB := NewEndpoint(fb, store.OpenMemory(), clk, EndpointConfig{})
 		delivered := 0
 		epB.OnMessage(func(string, string, msg.Value) { delivered++ })
 		for i := 0; i < 20; i++ {
@@ -145,12 +125,136 @@ func TestLossyRunDeterministic(t *testing.T) {
 			epA.Flush()
 			clk.Advance(2 * time.Second)
 		}
-		return epA.Stats(), delivered
+		return epA.Stats(), net.Stats(), delivered
 	}
-	s1, d1 := run()
-	s2, d2 := run()
-	if s1 != s2 || d1 != d2 {
-		t.Errorf("non-deterministic: %+v/%d vs %+v/%d", s1, d1, s2, d2)
+	s1, f1, d1 := run()
+	s2, f2, d2 := run()
+	if s1 != s2 || f1 != f2 || d1 != d2 {
+		t.Errorf("non-deterministic:\n%+v / %+v / %d\n%+v / %+v / %d", s1, f1, d1, s2, f2, d2)
+	}
+}
+
+// An asymmetric partition cuts a→b while b→a stays open: b's data still
+// reaches a, but a's acks die at the cut, so b retransmits until the heal.
+func TestAsymmetricPartitionAndHeal(t *testing.T) {
+	clk := vclock.NewSim()
+	net, fa, fb := faultPair(clk, faultnet.Config{Seed: 7})
+	epA := NewEndpoint(fa, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
+	epB := NewEndpoint(fb, store.OpenMemory(), clk, EndpointConfig{RetryAfter: 2 * time.Second})
+	var atA []float64
+	epA.OnMessage(func(_, _ string, payload msg.Value) {
+		n, _ := msg.GetNumber(payload.(msg.Map), "n")
+		atA = append(atA, n)
+	})
+
+	net.Partition("a", "b")
+	if !net.Partitioned("a", "b") || net.Partitioned("b", "a") {
+		t.Fatal("partition not asymmetric")
+	}
+
+	// a → b is cut: nothing arrives, the entry stays pending.
+	epA.Enqueue("b", "ch", msg.Map{"n": 0.0})
+	epA.Flush()
+	clk.Advance(10 * time.Second)
+	if epB.Stats().MessagesReceived != 0 || epA.Pending() != 1 {
+		t.Fatalf("cut direction leaked: recv=%d pending=%d", epB.Stats().MessagesReceived, epA.Pending())
+	}
+
+	// b → a is open: data is delivered exactly once despite retransmits,
+	// but the ack (a → b) dies at the cut so b's outbox stays occupied.
+	epB.Enqueue("a", "ch", msg.Map{"n": 1.0})
+	for i := 0; i < 5; i++ {
+		epB.Flush()
+		clk.Advance(3 * time.Second)
+	}
+	if len(atA) != 1 || atA[0] != 1.0 {
+		t.Fatalf("open direction delivered %v, want [1]", atA)
+	}
+	if epB.Pending() != 1 {
+		t.Fatalf("ack crossed a partitioned direction: pending=%d", epB.Pending())
+	}
+	if net.Stats().PartitionDrops == 0 {
+		t.Error("no partition drops counted")
+	}
+
+	// Heal: both directions drain.
+	net.Heal("a", "b")
+	for i := 0; i < 10 && (epA.Pending() > 0 || epB.Pending() > 0); i++ {
+		epA.Flush()
+		epB.Flush()
+		clk.Advance(5 * time.Second)
+	}
+	if epA.Pending() != 0 || epB.Pending() != 0 {
+		t.Errorf("after heal: pendingA=%d pendingB=%d", epA.Pending(), epB.Pending())
+	}
+	if st := epB.Stats(); st.MessagesReceived != 1 {
+		t.Errorf("b received %d, want 1 (dedup across retransmits)", st.MessagesReceived)
+	}
+}
+
+// A reboot replays the durable outbox through a reinstalled port: the
+// surviving entries arrive in FIFO order with no duplicates, and the
+// receiver re-anchors its sequence cursor from the new boot's floors.
+func TestEndpointRebootReplaysOutboxInOrder(t *testing.T) {
+	clk := vclock.NewSim()
+	sb := NewSwitchboard(clk)
+	sb.Associate("phone", "col")
+	path := filepath.Join(t.TempDir(), "outbox.log")
+	box, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := NewEndpoint(sb.Port("phone", nil), box, clk, EndpointConfig{BootID: "boot1"})
+	col := NewEndpoint(sb.Port("col", nil), store.OpenMemory(), clk, EndpointConfig{})
+	var got []float64
+	col.OnMessage(func(_, _ string, payload msg.Value) {
+		n, _ := msg.GetNumber(payload.(msg.Map), "n")
+		got = append(got, n)
+	})
+
+	for i := 0; i < 6; i++ {
+		ep.Enqueue("col", "ch", msg.Map{"n": float64(i)})
+	}
+	ep.Flush()
+	clk.Advance(time.Second)
+	if ep.Pending() != 0 {
+		t.Fatalf("pre-reboot pending = %d", ep.Pending())
+	}
+	// Three more enqueued but never flushed before the battery dies.
+	for i := 6; i < 9; i++ {
+		ep.Enqueue("col", "ch", msg.Map{"n": float64(i)})
+	}
+	if err := box.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: reopen the outbox, reinstall the port, new boot id.
+	box2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box2.Close()
+	ep2 := NewEndpoint(sb.Port("phone", nil), box2, clk, EndpointConfig{BootID: "boot2"})
+	ep2.Flush()
+	clk.Advance(time.Second)
+	if ep2.Pending() != 0 {
+		t.Fatalf("post-reboot pending = %d", ep2.Pending())
+	}
+	want := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+	// Sequences continue where the last boot stopped.
+	if err := ep2.Enqueue("col", "ch", msg.Map{"n": 9.0}); err != nil {
+		t.Fatal(err)
+	}
+	if p := box2.Pending(); len(p) != 1 || p[0].Seq != 9 {
+		t.Fatalf("post-reboot enqueue got seq %+v, want 9", p)
 	}
 }
 

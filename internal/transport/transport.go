@@ -8,6 +8,20 @@
 // tail (internal/tail). The receiver deduplicates retransmissions and acks
 // every batch; the sender removes entries from its outbox only when acked.
 //
+// On top of the paper's ack scheme the endpoint hardens delivery against the
+// faults internal/faultnet injects:
+//
+//   - every payload is CRC32-framed, so a byte flipped in flight is detected
+//     even when the corrupted bytes still parse as JSON;
+//   - unacked entries retransmit with capped exponential backoff, and a
+//     reconnect resets the backoff and replays the outbox immediately;
+//   - each entry carries a per-(destination, channel) sequence number; the
+//     receiver holds out-of-order arrivals back and delivers each channel in
+//     FIFO order, exactly once;
+//   - envelopes carry per-channel floors (the lowest sequence still live in
+//     the sender's outbox) so the receiver can skip gaps left by the max-age
+//     purge or a pre-reboot ack instead of stalling forever.
+//
 // Two Messenger implementations are provided: a real XMPP client adapter
 // (xmppnet.go) used by the cmd/ binaries, and an in-memory switchboard
 // (memnet.go) whose deliveries traverse the simulated radios — so every
@@ -19,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strconv"
 	"sync"
@@ -67,12 +82,43 @@ type envelope struct {
 	Boot  string         `json:"boot,omitempty"`
 	Batch []envelopeItem `json:"batch,omitempty"`
 	Ack   []uint64       `json:"ack,omitempty"`
+	// Floors maps channel → the lowest sequence number still live in the
+	// sender's outbox for that channel (or the next sequence to be assigned
+	// when the channel drained). The receiver uses it to skip sequence gaps
+	// left by the max-age purge or by acks that predate its own reboot.
+	Floors map[string]uint64 `json:"floors,omitempty"`
 }
 
 type envelopeItem struct {
 	ID      uint64          `json:"id"`
+	Seq     uint64          `json:"seq"`
 	Channel string          `json:"ch"`
 	Body    json.RawMessage `json:"body"`
+}
+
+// frame prefixes the payload with its CRC32 ("%08x:" + body). A byte flipped
+// in flight is then detected even when the corrupted payload still parses as
+// valid JSON with plausible content.
+func frame(b []byte) []byte {
+	out := make([]byte, 0, len(b)+9)
+	out = append(out, fmt.Sprintf("%08x:", crc32.ChecksumIEEE(b))...)
+	return append(out, b...)
+}
+
+// unframe verifies and strips the CRC32 header.
+func unframe(b []byte) ([]byte, error) {
+	if len(b) < 9 || b[8] != ':' {
+		return nil, errors.New("transport: malformed frame")
+	}
+	want, err := strconv.ParseUint(string(b[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad frame header: %w", err)
+	}
+	body := b[9:]
+	if crc32.ChecksumIEEE(body) != uint32(want) {
+		return nil, errors.New("transport: checksum mismatch")
+	}
+	return body, nil
 }
 
 // Stats counts an endpoint's transport activity.
@@ -83,6 +129,8 @@ type Stats struct {
 	MessagesExpired  int // purged by the max-age policy
 	MessagesReceived int // deduplicated deliveries to the application
 	Duplicates       int
+	Retries          int // retransmissions of previously sent entries
+	CorruptDropped   int // inbound payloads rejected by the CRC32 frame check
 	BytesSent        int64
 	Flushes          int
 }
@@ -92,9 +140,12 @@ type EndpointConfig struct {
 	// MaxAge drops buffered messages older than this (0 disables; the
 	// deployment used store.DefaultMaxAge = 24 h).
 	MaxAge time.Duration
-	// RetryAfter is how long a sent-but-unacked entry waits before being
-	// eligible for retransmission. Default 30 s.
+	// RetryAfter is how long a sent-but-unacked entry waits before its first
+	// retransmission; subsequent waits double per attempt. Default 30 s.
 	RetryAfter time.Duration
+	// RetryMax caps the exponential retransmission backoff. Default
+	// 8 × RetryAfter.
+	RetryMax time.Duration
 	// BootID identifies this process lifetime; defaults to the clock's
 	// construction instant. After a reboot (new Endpoint, possibly a fresh
 	// outbox with restarting IDs) peers reset their dedup state for us.
@@ -109,21 +160,23 @@ type EndpointConfig struct {
 // every field is nil, and since all instrument methods are nil-safe the
 // struct is always usable — callers never test for "observability off".
 type endpointObs struct {
-	node       string
-	tracer     *obs.Tracer
-	enqueued   *obs.Counter
-	sent       *obs.Counter
-	acked      *obs.Counter
-	expired    *obs.Counter
-	received   *obs.Counter
-	duplicates *obs.Counter
-	bytesSent  *obs.Counter // data-batch payload bytes only (mirrors Stats.BytesSent)
-	ackBytes   *obs.Counter // ack-envelope bytes, counted separately
-	bytesRecv  *obs.Counter
-	flushes    *obs.Counter
-	sendErrors *obs.Counter
-	batchSize  *obs.Histogram
-	queueDelay *obs.Histogram
+	node           string
+	tracer         *obs.Tracer
+	enqueued       *obs.Counter
+	sent           *obs.Counter
+	acked          *obs.Counter
+	expired        *obs.Counter
+	received       *obs.Counter
+	duplicates     *obs.Counter
+	retries        *obs.Counter
+	corruptDropped *obs.Counter
+	bytesSent      *obs.Counter // data-batch payload bytes only (mirrors Stats.BytesSent)
+	ackBytes       *obs.Counter // ack-envelope bytes, counted separately
+	bytesRecv      *obs.Counter
+	flushes        *obs.Counter
+	sendErrors     *obs.Counter
+	batchSize      *obs.Histogram
+	queueDelay     *obs.Histogram
 }
 
 func newEndpointObs(reg *obs.Registry, node string) *endpointObs {
@@ -132,26 +185,76 @@ func newEndpointObs(reg *obs.Registry, node string) *endpointObs {
 	}
 	l := obs.L("node", node)
 	return &endpointObs{
-		node:       node,
-		tracer:     reg.Tracer(),
-		enqueued:   reg.Counter("transport_messages_enqueued_total", l),
-		sent:       reg.Counter("transport_messages_sent_total", l),
-		acked:      reg.Counter("transport_messages_acked_total", l),
-		expired:    reg.Counter("transport_messages_expired_total", l),
-		received:   reg.Counter("transport_messages_received_total", l),
-		duplicates: reg.Counter("transport_duplicates_total", l),
-		bytesSent:  reg.Counter("transport_bytes_sent_total", l),
-		ackBytes:   reg.Counter("transport_ack_bytes_sent_total", l),
-		bytesRecv:  reg.Counter("transport_bytes_received_total", l),
-		flushes:    reg.Counter("transport_flushes_total", l),
-		sendErrors: reg.Counter("transport_send_errors_total", l),
-		batchSize:  reg.Histogram("transport_batch_size_messages", obs.CountBuckets, l),
-		queueDelay: reg.Histogram("transport_queue_delay_seconds", obs.DefBuckets, l),
+		node:           node,
+		tracer:         reg.Tracer(),
+		enqueued:       reg.Counter("transport_messages_enqueued_total", l),
+		sent:           reg.Counter("transport_messages_sent_total", l),
+		acked:          reg.Counter("transport_messages_acked_total", l),
+		expired:        reg.Counter("transport_messages_expired_total", l),
+		received:       reg.Counter("transport_messages_received_total", l),
+		duplicates:     reg.Counter("transport_duplicates_total", l),
+		retries:        reg.Counter("transport_retries_total", l),
+		corruptDropped: reg.Counter("transport_corrupt_dropped_total", l),
+		bytesSent:      reg.Counter("transport_bytes_sent_total", l),
+		ackBytes:       reg.Counter("transport_ack_bytes_sent_total", l),
+		bytesRecv:      reg.Counter("transport_bytes_received_total", l),
+		flushes:        reg.Counter("transport_flushes_total", l),
+		sendErrors:     reg.Counter("transport_send_errors_total", l),
+		batchSize:      reg.Histogram("transport_batch_size_messages", obs.CountBuckets, l),
+		queueDelay:     reg.Histogram("transport_queue_delay_seconds", obs.DefBuckets, l),
 	}
 }
 
 func (o *endpointObs) record(at time.Time, channel string, stage obs.Stage, id uint64, detail string) {
 	o.tracer.Record(at, o.node, channel, stage, id, detail)
+}
+
+// sendState tracks one inflight (sent, unacked) entry for retry backoff.
+type sendState struct {
+	at       time.Time // last transmission; zero time = retransmit immediately
+	attempts int
+}
+
+// chanOrder is the receiver's FIFO state for one (sender, channel) pair:
+// out-of-order arrivals wait in hold until the gap before them fills (or the
+// sender's floor reveals the gap will never fill).
+type chanOrder struct {
+	next  uint64 // lowest sequence not yet delivered
+	floor uint64 // sender's advertised floor: nothing below is still live
+	hold  map[uint64]envelopeItem
+}
+
+// drain returns the items deliverable in FIFO order, advancing past
+// floor-certified gaps. Held items below the floor (acked on arrival, then
+// purged at the sender while waiting for ordering) are still delivered —
+// skipping them would turn a reorder into a loss.
+func (c *chanOrder) drain() []envelopeItem {
+	var out []envelopeItem
+	for {
+		if it, ok := c.hold[c.next]; ok {
+			delete(c.hold, c.next)
+			c.next++
+			out = append(out, it)
+			continue
+		}
+		if c.next >= c.floor {
+			return out
+		}
+		skip := c.floor
+		for s := range c.hold {
+			if s >= c.next && s < skip {
+				skip = s
+			}
+		}
+		c.next = skip
+	}
+}
+
+// peerState is everything the receiver remembers about one sender.
+type peerState struct {
+	boot  string
+	seen  map[uint64]bool // delivered message IDs (dedup)
+	chans map[string]*chanOrder
 }
 
 // Endpoint is the reliable batching layer of one node. The zero value is
@@ -162,22 +265,31 @@ type Endpoint struct {
 	box *store.Outbox
 	cfg EndpointConfig
 
-	mu        sync.Mutex
-	onMessage func(from, channel string, payload msg.Value)
-	onWire    func(sentBytes, recvBytes int64)
-	seen      map[string]map[uint64]bool
-	boots     map[string]string // peer → last seen boot id
-	inflight  map[uint64]time.Time
-	stats     Stats
+	mu         sync.Mutex
+	onMessage  func(from, channel string, payload msg.Value)
+	onWire     func(sentBytes, recvBytes int64)
+	peers      map[string]*peerState
+	inflight   map[uint64]sendState
+	nextSeq    map[string]uint64          // seqKey(dest, channel) → next FIFO sequence
+	dirty      map[string]map[string]bool // dest → channels whose floor moved by expiry
+	retryTimer vclock.Timer               // pending self-driven retransmission, if any
+	stats      Stats
 
 	obs *endpointObs // never nil; instruments are nil when cfg.Obs is nil
 }
 
+func seqKey(to, channel string) string { return to + "\x00" + channel }
+
 // NewEndpoint wires a reliable endpoint over messenger m with outbox box.
-// It registers itself as m's receive handler.
+// It registers itself as m's receive handler and as an online handler, so a
+// reconnect resets retry backoff and replays the outbox without waiting for
+// the next flush tick.
 func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointConfig) *Endpoint {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = 30 * time.Second
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 8 * cfg.RetryAfter
 	}
 	if cfg.BootID == "" {
 		cfg.BootID = strconv.FormatInt(clk.Now().UnixNano(), 36)
@@ -187,12 +299,21 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 		clk:      clk,
 		box:      box,
 		cfg:      cfg,
-		seen:     make(map[string]map[uint64]bool),
-		boots:    make(map[string]string),
-		inflight: make(map[uint64]time.Time),
+		peers:    make(map[string]*peerState),
+		inflight: make(map[uint64]sendState),
+		nextSeq:  make(map[string]uint64),
+		dirty:    make(map[string]map[string]bool),
 		obs:      newEndpointObs(cfg.Obs, m.LocalID()),
 	}
+	// Recover the per-channel sequence counters from the replayed outbox so
+	// post-reboot enqueues continue the FIFO where the last boot left it.
+	for _, entry := range box.Pending() {
+		if k := seqKey(entry.To, entry.Channel); entry.Seq >= e.nextSeq[k] {
+			e.nextSeq[k] = entry.Seq + 1
+		}
+	}
 	m.OnReceive(e.receive)
+	m.OnOnline(e.onReconnect)
 	return e
 }
 
@@ -234,6 +355,32 @@ func (e *Endpoint) notifyWire(sent, recv int64) {
 	}
 }
 
+// onReconnect makes every inflight entry immediately eligible for
+// retransmission (a fresh session voids the old backoff timers — anything
+// unacked may have died with the stale connection) and replays the outbox.
+func (e *Endpoint) onReconnect() {
+	e.mu.Lock()
+	for id, st := range e.inflight {
+		st.at = time.Time{}
+		e.inflight[id] = st
+	}
+	e.mu.Unlock()
+	e.Flush()
+}
+
+// retryWait returns the backoff before retransmission attempt attempts+1:
+// RetryAfter doubling per attempt, capped at RetryMax.
+func (e *Endpoint) retryWait(attempts int) time.Duration {
+	wait := e.cfg.RetryAfter
+	for i := 1; i < attempts && wait < e.cfg.RetryMax; i++ {
+		wait *= 2
+	}
+	if wait > e.cfg.RetryMax {
+		wait = e.cfg.RetryMax
+	}
+	return wait
+}
+
 // Enqueue buffers a message for peer `to` on the given channel. The message
 // is durable (subject to MaxAge) until acknowledged; call Flush — or attach
 // a flush policy in core — to move it.
@@ -243,11 +390,14 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
 	now := e.clk.Now()
-	id, err := e.box.Add(to, channel, b, now)
+	e.mu.Lock()
+	seq := e.nextSeq[seqKey(to, channel)]
+	id, err := e.box.Add(to, channel, seq, b, now)
 	if err != nil {
+		e.mu.Unlock()
 		return fmt.Errorf("transport: enqueue: %w", err)
 	}
-	e.mu.Lock()
+	e.nextSeq[seqKey(to, channel)] = seq + 1
 	e.stats.MessagesEnqueued++
 	e.mu.Unlock()
 	e.obs.enqueued.Inc()
@@ -258,86 +408,200 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 // Flush attempts delivery of every eligible buffered message, batched into
 // one envelope per destination. It returns the number of data messages
 // handed to the messenger.
-func (e *Endpoint) Flush() int {
+func (e *Endpoint) Flush() int { return e.flush(false) }
+
+// scheduleRetry arms a timer for the earliest retransmission deadline among
+// sent-but-unacked entries. Without it, an endpoint whose flush policy has
+// gone quiet (FlushImmediate with no new enqueues, say) would never
+// retransmit a lost batch: backoff would be computed but nothing would ever
+// fire it. The timer drives retransmissions only — first transmission stays
+// with the flush policy, which owns the energy trade-off (§4.7).
+func (e *Endpoint) scheduleRetry(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.retryTimer != nil {
+		e.retryTimer.Stop()
+		e.retryTimer = nil
+	}
+	var earliest time.Time
+	for _, st := range e.inflight {
+		if due := st.at.Add(e.retryWait(st.attempts)); earliest.IsZero() || due.Before(earliest) {
+			earliest = due
+		}
+	}
+	if earliest.IsZero() {
+		return
+	}
+	delay := earliest.Sub(now)
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	e.retryTimer = e.clk.AfterFunc(delay, func() { e.flush(true) })
+}
+
+// flush implements Flush. In retryOnly mode (the self-driven retransmission
+// timer) entries never yet transmitted are left for the flush policy.
+func (e *Endpoint) flush(retryOnly bool) int {
 	now := e.clk.Now()
-	if dropped, err := e.box.PurgeExpired(now, e.cfg.MaxAge); err == nil && dropped > 0 {
+	if dropped, err := e.box.PurgeExpired(now, e.cfg.MaxAge); err == nil && len(dropped) > 0 {
 		e.mu.Lock()
-		e.stats.MessagesExpired += dropped
+		e.stats.MessagesExpired += len(dropped)
+		for _, entry := range dropped {
+			// The purge moved the channel's floor; mark it so the next
+			// envelope tells the receiver not to wait for the gap.
+			if e.dirty[entry.To] == nil {
+				e.dirty[entry.To] = make(map[string]bool)
+			}
+			e.dirty[entry.To][entry.Channel] = true
+			delete(e.inflight, entry.ID)
+		}
 		e.mu.Unlock()
-		e.obs.expired.Add(int64(dropped))
-		e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(dropped))
+		e.obs.expired.Add(int64(len(dropped)))
+		e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(len(dropped)))
 	}
 	if !e.m.Online() {
 		return 0
 	}
 	pending := e.box.Pending()
-	byDest := make(map[string][]store.Entry)
-	var dests []string
+
+	// floors: per destination, the lowest live sequence per channel —
+	// computed over ALL live entries (not just retry-eligible ones).
+	floors := make(map[string]map[string]uint64)
+	elig := make(map[string][]store.Entry)
+	destSet := make(map[string]bool)
 	e.mu.Lock()
 	for _, entry := range pending {
-		if sentAt, ok := e.inflight[entry.ID]; ok && now.Sub(sentAt) < e.cfg.RetryAfter {
+		f := floors[entry.To]
+		if f == nil {
+			f = make(map[string]uint64)
+			floors[entry.To] = f
+		}
+		if cur, ok := f[entry.Channel]; !ok || entry.Seq < cur {
+			f[entry.Channel] = entry.Seq
+		}
+		st, sent := e.inflight[entry.ID]
+		if sent && now.Sub(st.at) < e.retryWait(st.attempts) {
 			continue
 		}
-		if len(byDest[entry.To]) == 0 {
-			dests = append(dests, entry.To)
+		if !sent && retryOnly {
+			continue
 		}
-		byDest[entry.To] = append(byDest[entry.To], entry)
+		elig[entry.To] = append(elig[entry.To], entry)
+		destSet[entry.To] = true
 	}
-	e.stats.Flushes++
+	for dest := range e.dirty {
+		destSet[dest] = true
+	}
+	if !retryOnly {
+		e.stats.Flushes++
+	}
 	e.mu.Unlock()
+	dests := make([]string, 0, len(destSet))
+	for dest := range destSet {
+		dests = append(dests, dest)
+	}
 	sort.Strings(dests)
-	e.obs.flushes.Inc()
+	if !retryOnly {
+		e.obs.flushes.Inc()
+	}
 	if len(dests) > 0 {
 		e.obs.record(now, "", obs.StageFlush, 0, "destinations="+strconv.Itoa(len(dests)))
 	}
 
 	sent := 0
 	for _, dest := range dests {
-		entries := byDest[dest]
+		entries := elig[dest]
 		env := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID}
 		for _, entry := range entries {
 			env.Batch = append(env.Batch, envelopeItem{
 				ID:      entry.ID,
+				Seq:     entry.Seq,
 				Channel: entry.Channel,
 				Body:    json.RawMessage(entry.Payload),
 			})
+		}
+		fl := make(map[string]uint64, len(floors[dest]))
+		for ch, s := range floors[dest] {
+			fl[ch] = s
+		}
+		e.mu.Lock()
+		for ch := range e.dirty[dest] {
+			if _, ok := fl[ch]; !ok {
+				// Channel fully drained by the purge: the floor is whatever
+				// the next enqueue would be assigned.
+				fl[ch] = e.nextSeq[seqKey(dest, ch)]
+			}
+		}
+		e.mu.Unlock()
+		if len(fl) > 0 {
+			env.Floors = fl
+		}
+		if len(env.Batch) == 0 && len(env.Floors) == 0 {
+			continue
 		}
 		b, err := json.Marshal(env)
 		if err != nil {
 			continue
 		}
-		if err := e.m.Send(dest, b); err != nil {
+		wire := frame(b)
+		if err := e.m.Send(dest, wire); err != nil {
 			e.obs.sendErrors.Inc()
 			continue
 		}
-		e.notifyWire(int64(len(b)), 0)
+		e.notifyWire(int64(len(wire)), 0)
+		retries := 0
 		e.mu.Lock()
 		for _, entry := range entries {
-			e.inflight[entry.ID] = now
+			st := e.inflight[entry.ID]
+			if st.attempts > 0 {
+				retries++
+			}
+			st.at = now
+			st.attempts++
+			e.inflight[entry.ID] = st
 		}
+		delete(e.dirty, dest)
 		e.stats.MessagesSent += len(entries)
-		e.stats.BytesSent += int64(len(b))
+		e.stats.Retries += retries
+		e.stats.BytesSent += int64(len(wire))
 		e.mu.Unlock()
 		e.obs.sent.Add(int64(len(entries)))
-		e.obs.bytesSent.Add(int64(len(b)))
-		e.obs.batchSize.Observe(float64(len(entries)))
+		e.obs.retries.Add(int64(retries))
+		e.obs.bytesSent.Add(int64(len(wire)))
+		if len(entries) > 0 {
+			e.obs.batchSize.Observe(float64(len(entries)))
+		}
 		for _, entry := range entries {
 			e.obs.queueDelay.Observe(now.Sub(entry.Enqueued()).Seconds())
 			e.obs.record(now, entry.Channel, obs.StageSend, entry.ID, "to="+dest)
 		}
 		sent += len(entries)
 	}
+	e.scheduleRetry(now)
 	return sent
 }
 
-// receive handles an inbound envelope: apply acks, deliver new data
-// messages, and ack the batch.
+// receive handles an inbound envelope: verify the frame, apply acks and
+// floors, order fresh data messages per channel, and ack the batch.
 func (e *Endpoint) receive(from string, payload []byte) {
 	e.notifyWire(0, int64(len(payload)))
 	e.obs.bytesRecv.Add(int64(len(payload)))
+	body, err := unframe(payload)
+	if err != nil {
+		// Corrupted in flight: drop, the sender will retransmit.
+		e.mu.Lock()
+		e.stats.CorruptDropped++
+		e.mu.Unlock()
+		e.obs.corruptDropped.Inc()
+		return
+	}
 	var env envelope
-	if err := json.Unmarshal(payload, &env); err != nil {
-		return // corrupt payload: drop, sender will retransmit
+	if err := json.Unmarshal(body, &env); err != nil {
+		e.mu.Lock()
+		e.stats.CorruptDropped++
+		e.mu.Unlock()
+		e.obs.corruptDropped.Inc()
+		return
 	}
 	if len(env.Ack) > 0 {
 		e.box.Ack(env.Ack...)
@@ -349,7 +613,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		e.mu.Unlock()
 		e.obs.acked.Add(int64(len(env.Ack)))
 	}
-	if len(env.Batch) == 0 {
+	if len(env.Batch) == 0 && len(env.Floors) == 0 {
 		return
 	}
 	sender := env.From
@@ -357,70 +621,102 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		sender = from
 	}
 
-	var fresh []envelopeItem
-	ackIDs := make([]uint64, 0, len(env.Batch))
 	e.mu.Lock()
-	if env.Boot != "" && e.boots[sender] != env.Boot {
-		// The peer rebooted: its message IDs restarted, so our dedup
-		// history for it is stale.
-		e.boots[sender] = env.Boot
-		delete(e.seen, sender)
+	ps := e.peers[sender]
+	if ps == nil || (env.Boot != "" && ps.boot != env.Boot) {
+		// First contact, or the peer rebooted: its IDs and sequences may
+		// have restarted, so any previous state for it is stale. The
+		// envelope's floors re-anchor the FIFO cursors.
+		ps = &peerState{
+			boot:  env.Boot,
+			seen:  make(map[uint64]bool),
+			chans: make(map[string]*chanOrder),
+		}
+		e.peers[sender] = ps
 	}
-	seen := e.seen[sender]
-	if seen == nil {
-		seen = make(map[uint64]bool)
-		e.seen[sender] = seen
+	order := func(ch string) *chanOrder {
+		c := ps.chans[ch]
+		if c == nil {
+			c = &chanOrder{hold: make(map[uint64]envelopeItem)}
+			ps.chans[ch] = c
+		}
+		return c
+	}
+	touched := make(map[string]bool)
+	for ch, f := range env.Floors {
+		c := order(ch)
+		if f > c.floor {
+			c.floor = f
+		}
+		touched[ch] = true
 	}
 	dups := 0
+	ackIDs := make([]uint64, 0, len(env.Batch))
 	for _, item := range env.Batch {
 		ackIDs = append(ackIDs, item.ID)
-		if seen[item.ID] {
+		c := order(item.Channel)
+		_, held := c.hold[item.Seq]
+		if ps.seen[item.ID] || held || item.Seq < c.next {
 			e.stats.Duplicates++
 			dups++
 			continue
 		}
-		seen[item.ID] = true
-		fresh = append(fresh, item)
+		ps.seen[item.ID] = true
+		c.hold[item.Seq] = item
+		touched[item.Channel] = true
 	}
-	e.stats.MessagesReceived += len(fresh)
+	channels := make([]string, 0, len(touched))
+	for ch := range touched {
+		channels = append(channels, ch)
+	}
+	sort.Strings(channels)
+	var deliver []envelopeItem
+	for _, ch := range channels {
+		deliver = append(deliver, ps.chans[ch].drain()...)
+	}
+	e.stats.MessagesReceived += len(deliver)
 	// Bound the dedup memory: forget the oldest half above a cap. A peer
-	// retransmitting something this old would be re-delivered; acceptable
-	// for at-least-once semantics.
-	if len(seen) > 8192 {
-		ids := make([]uint64, 0, len(seen))
-		for id := range seen {
+	// retransmitting something this old is additionally screened by the
+	// per-channel sequence cursor.
+	if len(ps.seen) > 8192 {
+		ids := make([]uint64, 0, len(ps.seen))
+		for id := range ps.seen {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids[:len(ids)/2] {
-			delete(seen, id)
+			delete(ps.seen, id)
 		}
 	}
 	handler := e.onMessage
 	e.mu.Unlock()
 	e.obs.duplicates.Add(int64(dups))
-	e.obs.received.Add(int64(len(fresh)))
+	e.obs.received.Add(int64(len(deliver)))
 	if e.obs.tracer != nil {
 		at := e.clk.Now()
-		for _, item := range fresh {
+		for _, item := range deliver {
 			e.obs.record(at, item.Channel, obs.StageDeliver, item.ID, "from="+sender)
 		}
 	}
 
 	// Ack immediately; acks are fire-and-forget (a lost ack means a
-	// retransmission, which dedup absorbs).
-	ackEnv := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID, Ack: ackIDs}
-	if b, err := json.Marshal(ackEnv); err == nil {
-		if e.m.Send(sender, b) == nil {
-			e.notifyWire(int64(len(b)), 0)
-			e.obs.ackBytes.Add(int64(len(b)))
+	// retransmission, which dedup absorbs). Held items are acked too — the
+	// sender's job is done once they arrive; ordering is receiver-local.
+	if len(ackIDs) > 0 {
+		ackEnv := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID, Ack: ackIDs}
+		if b, err := json.Marshal(ackEnv); err == nil {
+			wire := frame(b)
+			if e.m.Send(sender, wire) == nil {
+				e.notifyWire(int64(len(wire)), 0)
+				e.obs.ackBytes.Add(int64(len(wire)))
+			}
 		}
 	}
 
 	if handler == nil {
 		return
 	}
-	for _, item := range fresh {
+	for _, item := range deliver {
 		v, err := msg.DecodeJSON(item.Body)
 		if err != nil {
 			continue

@@ -14,6 +14,9 @@ import (
 // changes and reconnects; stale sessions are displaced server-side).
 type XMPPMessenger struct {
 	addr, user, pass, resource string
+	// retryBase/retryCap bound the exponential reconnect backoff (first
+	// attempt after retryBase, doubling up to retryCap).
+	retryBase, retryCap time.Duration
 
 	mu         sync.Mutex
 	client     *xmpp.Client
@@ -65,6 +68,7 @@ var _ Messenger = (*XMPPMessenger)(nil)
 func DialXMPP(addr, user, pass, resource string) (*XMPPMessenger, error) {
 	m := &XMPPMessenger{
 		addr: addr, user: user, pass: pass, resource: resource,
+		retryBase: 2 * time.Second, retryCap: 30 * time.Second,
 		peers: make(map[string]bool),
 	}
 	if err := m.connect(); err != nil {
@@ -135,6 +139,7 @@ func (m *XMPPMessenger) connect() error {
 
 func (m *XMPPMessenger) reconnectLoop() {
 	defer m.wg.Done()
+	delay := m.retryBase
 	for {
 		m.mu.Lock()
 		closed := m.closed
@@ -148,7 +153,12 @@ func (m *XMPPMessenger) reconnectLoop() {
 			m.mu.Unlock()
 			return
 		}
-		time.Sleep(2 * time.Second)
+		// Capped exponential backoff: a dead switchboard must not be
+		// hammered by every phone at once.
+		time.Sleep(delay)
+		if delay *= 2; delay > m.retryCap {
+			delay = m.retryCap
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ type Client struct {
 	closed       bool
 	err          error
 	onMessage    func(from JID, id, body string)
+	backlog      []messageStanza // arrived before OnMessage was registered
 	onError      func(id, reason string)
 	onPresence   func(peer JID, available bool)
 	onDisconnect func(err error)
@@ -96,11 +97,18 @@ func (c *Client) handshake(user, password, resource string) error {
 // JID returns the bound full JID.
 func (c *Client) JID() JID { return c.jid }
 
-// OnMessage sets the inbound message handler.
+// OnMessage sets the inbound message handler. Messages that arrived before
+// the handler was registered — e.g. stanzas the server replayed the moment
+// this session resumed — are delivered to it immediately, in arrival order.
 func (c *Client) OnMessage(fn func(from JID, id, body string)) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.onMessage = fn
+	backlog := c.backlog
+	c.backlog = nil
+	c.mu.Unlock()
+	for _, m := range backlog {
+		fn(JID(m.From), m.ID, m.Body)
+	}
 }
 
 // OnError sets the handler for bounced messages (recipient offline or not on
@@ -199,6 +207,11 @@ func (c *Client) readLoop() {
 			}
 			c.mu.Lock()
 			onMsg, onErr := c.onMessage, c.onError
+			if m.Type != "error" && onMsg == nil && len(c.backlog) < 256 {
+				// No handler yet (session-resumption replay races handler
+				// registration): hold the message for OnMessage.
+				c.backlog = append(c.backlog, m)
+			}
 			c.mu.Unlock()
 			if m.Type == "error" {
 				if onErr != nil {

@@ -1,0 +1,96 @@
+package xmpp
+
+import (
+	"bytes"
+	"encoding/xml"
+	"testing"
+)
+
+// FuzzParseStanza feeds arbitrary bytes through the same decode path the
+// server's stanza loop uses (nextStart + DecodeElement per stanza kind). The
+// server faces these bytes from any TCP client, so the loop must never
+// panic, and whatever it does parse must re-marshal to a stable stanza
+// (marshal ∘ unmarshal reaches a fixed point after one normalization).
+func FuzzParseStanza(f *testing.F) {
+	seedStanzas := []any{
+		authStanza{User: "alice", Password: "pw", Resource: "phone"},
+		successStanza{JID: "alice@pogo/phone"},
+		failureStanza{Reason: "bad-credentials"},
+		presenceStanza{From: "bob@pogo", Type: "available"},
+		messageStanza{From: "a@pogo", To: "b@pogo", ID: "m1", Body: `{"n":1}`},
+		messageStanza{To: "b@pogo", Type: "error", Body: "recipient-offline"},
+		iqStanza{Type: "get", ID: "iq-1", Roster: &rosterQuery{}},
+		iqStanza{Type: "result", ID: "iq-2", Roster: &rosterQuery{Items: []rosterItem{{JID: "c@pogo"}}}},
+	}
+	for _, v := range seedStanzas {
+		b, err := marshalStanza(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`<stream to="pogo"><message to="x@pogo"><body>hi</body></message>`))
+	f.Add([]byte(`<message to="x"><body>unterminated`))
+	f.Add([]byte("<weird><deep><deeper/></deep></weird><presence from='y'/>"))
+	f.Add([]byte("\x00\x01\xff<"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := xml.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			tok, err := nextStart(dec)
+			if err != nil {
+				return
+			}
+			switch tok.Name.Local {
+			case "message":
+				var m messageStanza
+				if err := dec.DecodeElement(&m, &tok); err != nil {
+					return
+				}
+				checkStable(t, m, &messageStanza{})
+			case "presence":
+				var p presenceStanza
+				if err := dec.DecodeElement(&p, &tok); err != nil {
+					return
+				}
+				checkStable(t, p, &presenceStanza{})
+			case "auth":
+				var a authStanza
+				if err := dec.DecodeElement(&a, &tok); err != nil {
+					return
+				}
+				checkStable(t, a, &authStanza{})
+			case "iq":
+				var iq iqStanza
+				if err := dec.DecodeElement(&iq, &tok); err != nil {
+					return
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return
+				}
+			}
+		}
+	})
+}
+
+// checkStable asserts marshal(v) parses back and re-marshals byte-identical:
+// one decode normalizes the input, after which the codec is a fixed point.
+func checkStable(t *testing.T, v any, fresh any) {
+	t.Helper()
+	b, err := marshalStanza(v)
+	if err != nil {
+		t.Fatalf("parsed stanza does not marshal: %v (%#v)", err, v)
+	}
+	if err := xml.Unmarshal(b, fresh); err != nil {
+		t.Fatalf("own marshaling does not parse: %v (%q)", err, b)
+	}
+	b2, err := marshalStanza(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fresh is a pointer; marshal output differs only if the fields did.
+	if !bytes.Equal(b, b2) {
+		t.Errorf("stanza not stable under round-trip:\n%q\n%q", b, b2)
+	}
+}

@@ -2,8 +2,12 @@ package xmpp
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
+
+	"pogo/internal/faultnet"
+	"pogo/internal/obs"
 )
 
 // rawConn dials the server without speaking the protocol.
@@ -85,6 +89,166 @@ func TestServerUnknownStanzaSkipped(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("message after unknown stanza never arrived")
+	}
+}
+
+// collectBodies registers a message collector on c and returns an accessor.
+func collectBodies(c *Client) func() []string {
+	var mu sync.Mutex
+	var got []string
+	c.OnMessage(func(_ JID, _, body string) {
+		mu.Lock()
+		got = append(got, body)
+		mu.Unlock()
+	})
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+}
+
+// Session resumption: messages sent while the recipient is offline are
+// queued and replayed, in order, when the next session authenticates.
+func TestOfflineQueueResumesSession(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, OfflineQueue: 8, Obs: reg})
+	s.Associate("r", "d")
+	r := dial(t, s, "r", "pw")
+	bounced := make(chan string, 4)
+	r.OnError(func(id, reason string) { bounced <- reason })
+
+	for _, body := range []string{"m1", "m2", "m3"} {
+		if err := r.SendMessage(MakeJID("d"), body, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "stanzas queued", func() bool {
+		return reg.CounterValue("xmpp_server_queued_total") == 3
+	})
+	select {
+	case reason := <-bounced:
+		t.Fatalf("queued message bounced: %s", reason)
+	default:
+	}
+
+	d := dial(t, s, "d", "pw")
+	got := collectBodies(d)
+	waitFor(t, "resumed replay", func() bool { return len(got()) == 3 })
+	if g := got(); g[0] != "m1" || g[1] != "m2" || g[2] != "m3" {
+		t.Errorf("replayed out of order: %v", g)
+	}
+	if reg.CounterValue("xmpp_server_resumed_total") != 3 {
+		t.Errorf("resumed counter = %d", reg.CounterValue("xmpp_server_resumed_total"))
+	}
+}
+
+// The offline queue is bounded: when full, the oldest stanza gives way.
+func TestOfflineQueueBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, OfflineQueue: 2, Obs: reg})
+	s.Associate("r", "d")
+	r := dial(t, s, "r", "pw")
+	for _, body := range []string{"m1", "m2", "m3"} {
+		r.SendMessage(MakeJID("d"), body, body)
+	}
+	waitFor(t, "queue overflow accounted", func() bool {
+		return reg.CounterValue("xmpp_server_queue_drops_total") == 1
+	})
+	d := dial(t, s, "d", "pw")
+	got := collectBodies(d)
+	waitFor(t, "bounded replay", func() bool { return len(got()) == 2 })
+	if g := got(); g[0] != "m2" || g[1] != "m3" {
+		t.Errorf("replay = %v, want the newest two", g)
+	}
+}
+
+// A session whose TCP connection died underneath the server (the §4.6
+// interface-handover race) must not eat messages: the failed delivery is
+// queued and resumed by the replacement session.
+func TestStaleSessionDeliveryQueues(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, OfflineQueue: 8})
+	s.Associate("r", "d")
+	r := dial(t, s, "r", "pw")
+
+	// Forge d's stale session: registered in the table, but its connection
+	// is already dead.
+	c1, c2 := net.Pipe()
+	c1.Close()
+	c2.Close()
+	s.mu.Lock()
+	s.sessions["d"] = &session{user: "d", jid: JID("d@pogo/stale"), conn: c1}
+	s.mu.Unlock()
+
+	if err := r.SendMessage(MakeJID("d"), "m1", "behind-stale"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failed delivery queued", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.queues["d"]) == 1
+	})
+
+	d := dial(t, s, "d", "pw") // displaces the stale session, resumes the queue
+	got := collectBodies(d)
+	waitFor(t, "resume after stale session", func() bool { return len(got()) == 1 })
+	if g := got(); g[0] != "behind-stale" {
+		t.Errorf("resumed %v", g)
+	}
+}
+
+// End-to-end churn over real sockets: an established session is severed
+// mid-stream by the TCP proxy, traffic sent during the outage is queued, and
+// a reconnect through the same proxy resumes it.
+func TestSessionResumptionAcrossDroppedTCP(t *testing.T) {
+	s := startServer(t, ServerConfig{AllowAutoRegister: true, OfflineQueue: 16})
+	s.Associate("r", "d")
+	proxy, err := faultnet.NewTCPProxy(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	r := dial(t, s, "r", "pw")
+	d1, err := Dial(proxy.Addr(), "d", "pw", "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	got1 := collectBodies(d1)
+	dead := make(chan struct{})
+	d1.OnDisconnect(func(error) { close(dead) })
+
+	r.SendMessage(MakeJID("d"), "live", "live")
+	waitFor(t, "live delivery through proxy", func() bool { return len(got1()) == 1 })
+
+	// Churn: the phone's TCP session dies mid-stream.
+	proxy.DropConns()
+	select {
+	case <-dead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the dropped connection")
+	}
+	waitFor(t, "server drops the dead session", func() bool { return !s.Online("d") })
+
+	r.SendMessage(MakeJID("d"), "q1", "queued-1")
+	r.SendMessage(MakeJID("d"), "q2", "queued-2")
+	waitFor(t, "outage traffic queued", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.queues["d"]) == 2
+	})
+
+	// Fresh session through the same proxy: the queue resumes.
+	d2, err := Dial(proxy.Addr(), "d", "pw", "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got2 := collectBodies(d2)
+	waitFor(t, "resumption after reconnect", func() bool { return len(got2()) == 2 })
+	if g := got2(); g[0] != "queued-1" || g[1] != "queued-2" {
+		t.Errorf("resumed %v", g)
 	}
 }
 

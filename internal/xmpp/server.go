@@ -22,8 +22,15 @@ type ServerConfig struct {
 	AllowAutoRegister bool
 	// HandshakeTimeout bounds the stream-open + auth exchange. Default 10 s.
 	HandshakeTimeout time.Duration
+	// OfflineQueue enables session resumption: up to this many message
+	// stanzas per user are buffered while the user has no live session (or
+	// their session proves stale mid-delivery) and replayed when the next
+	// session authenticates. When full, the oldest stanza is dropped. 0
+	// keeps the legacy behavior: messages to offline users bounce
+	// immediately.
+	OfflineQueue int
 	// Obs, when non-nil, receives the switchboard's metrics: live sessions,
-	// stanzas routed, bounces, auth failures.
+	// stanzas routed, bounces, auth failures, offline-queue activity.
 	Obs *obs.Registry
 }
 
@@ -39,14 +46,18 @@ type Server struct {
 	accounts map[string]string          // user → password
 	rosters  map[string]map[string]bool // user → contact users
 	sessions map[string]*session        // user → live session (one resource per user)
+	queues   map[string][]messageStanza // user → stanzas awaiting session resumption
 	closed   bool
 	wg       sync.WaitGroup
 
 	// Instruments; nil (no-op) when cfg.Obs is nil.
-	obsSessions  *obs.Gauge
-	obsRouted    *obs.Counter
-	obsBounced   *obs.Counter
-	obsAuthFails *obs.Counter
+	obsSessions   *obs.Gauge
+	obsRouted     *obs.Counter
+	obsBounced    *obs.Counter
+	obsAuthFails  *obs.Counter
+	obsQueued     *obs.Counter
+	obsResumed    *obs.Counter
+	obsQueueDrops *obs.Counter
 }
 
 // NewServer returns an unstarted server.
@@ -62,12 +73,16 @@ func NewServer(cfg ServerConfig) *Server {
 		accounts: make(map[string]string),
 		rosters:  make(map[string]map[string]bool),
 		sessions: make(map[string]*session),
+		queues:   make(map[string][]messageStanza),
 	}
 	if reg := cfg.Obs; reg != nil {
 		s.obsSessions = reg.Gauge("xmpp_server_sessions")
 		s.obsRouted = reg.Counter("xmpp_server_stanzas_routed_total")
 		s.obsBounced = reg.Counter("xmpp_server_bounces_total")
 		s.obsAuthFails = reg.Counter("xmpp_server_auth_failures_total")
+		s.obsQueued = reg.Counter("xmpp_server_queued_total")
+		s.obsResumed = reg.Counter("xmpp_server_resumed_total")
+		s.obsQueueDrops = reg.Counter("xmpp_server_queue_drops_total")
 	}
 	return s
 }
@@ -245,6 +260,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.broadcastPresence(sess.user, true)
 	s.sendInitialPresence(sess)
+	s.replayQueued(sess)
 
 	defer func() {
 		s.dropSession(sess)
@@ -335,6 +351,8 @@ func (s *Server) dropSession(sess *session) {
 
 // routeMessage delivers to the recipient's live session, or bounces an error
 // stanza: XMPP-level delivery is best-effort (Pogo adds end-to-end acks).
+// With OfflineQueue enabled, messages for offline (or stale-session) users
+// are buffered for session resumption instead of bounced.
 func (s *Server) routeMessage(from *session, m messageStanza) {
 	toUser := JID(m.To).User()
 	s.mu.Lock()
@@ -342,27 +360,74 @@ func (s *Server) routeMessage(from *session, m messageStanza) {
 	allowed := s.rosters[from.user][toUser] || from.user == toUser
 	s.mu.Unlock()
 	m.From = from.jid.Bare().String()
-	if !allowed || dst == nil {
-		reason := "recipient-offline"
-		if !allowed {
-			reason = "not-on-roster"
+	if !allowed {
+		s.bounce(from, m.ID, "not-on-roster")
+		return
+	}
+	if dst == nil {
+		if s.cfg.OfflineQueue > 0 {
+			s.queueOffline(toUser, m)
+			return
 		}
-		s.obsBounced.Inc()
-		from.send(messageStanza{
-			From: Domain, To: from.jid.String(), ID: m.ID,
-			Type: "error", Body: reason,
-		})
+		s.bounce(from, m.ID, "recipient-offline")
 		return
 	}
 	if err := dst.send(m); err != nil {
-		s.obsBounced.Inc()
-		from.send(messageStanza{
-			From: Domain, To: from.jid.String(), ID: m.ID,
-			Type: "error", Body: "delivery-failed",
-		})
+		// The recipient's TCP session went stale underneath us (§4.6's
+		// interface-handover failure).
+		if s.cfg.OfflineQueue > 0 {
+			s.queueOffline(toUser, m)
+			return
+		}
+		s.bounce(from, m.ID, "delivery-failed")
 		return
 	}
 	s.obsRouted.Inc()
+}
+
+func (s *Server) bounce(from *session, id, reason string) {
+	s.obsBounced.Inc()
+	from.send(messageStanza{
+		From: Domain, To: from.jid.String(), ID: id,
+		Type: "error", Body: reason,
+	})
+}
+
+// queueOffline buffers m for user until their next session, dropping the
+// oldest stanza when the queue is full.
+func (s *Server) queueOffline(user string, m messageStanza) {
+	dropped := false
+	s.mu.Lock()
+	q := s.queues[user]
+	if len(q) >= s.cfg.OfflineQueue {
+		q = q[1:]
+		dropped = true
+	}
+	s.queues[user] = append(q, m)
+	s.mu.Unlock()
+	s.obsQueued.Inc()
+	if dropped {
+		s.obsQueueDrops.Inc()
+	}
+}
+
+// replayQueued resumes a fresh session: stanzas queued while the user was
+// offline are delivered in arrival order. If the session dies mid-replay the
+// remainder waits for the next one.
+func (s *Server) replayQueued(sess *session) {
+	s.mu.Lock()
+	queued := s.queues[sess.user]
+	delete(s.queues, sess.user)
+	s.mu.Unlock()
+	for i, m := range queued {
+		if err := sess.send(m); err != nil {
+			s.mu.Lock()
+			s.queues[sess.user] = append(queued[i:], s.queues[sess.user]...)
+			s.mu.Unlock()
+			return
+		}
+		s.obsResumed.Inc()
+	}
 }
 
 func (s *Server) handleIQ(sess *session, iq iqStanza) {
