@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check chaos fuzz-smoke stdout-guard
+.PHONY: build test bench check chaos determinism fuzz-smoke stdout-guard
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check: stdout-guard
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) determinism
 
 # fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
 # run `go test -fuzz . -fuzztime 5m ./internal/xmpp` (or /msg) for a real
@@ -32,6 +33,17 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -v -run 'Chaos|Soak' ./internal/experiments ./internal/core
 	$(GO) run -race ./cmd/pogo-bench -run chaos -seed 1
+
+# determinism runs the seeded Table 3 benchmark twice and requires the
+# ledger accounting and simulated-time series exports to be byte-identical:
+# attribution that varies between same-seed runs is a bug, not noise.
+determinism:
+	@rm -rf /tmp/pogo-determinism-a /tmp/pogo-determinism-b
+	$(GO) run ./cmd/pogo-bench -run table3 -csv /tmp/pogo-determinism-a > /dev/null
+	$(GO) run ./cmd/pogo-bench -run table3 -csv /tmp/pogo-determinism-b > /dev/null
+	@diff -r /tmp/pogo-determinism-a /tmp/pogo-determinism-b \
+		&& echo "determinism: accounting.csv + timeseries.csv byte-identical" \
+		|| (echo "determinism: same-seed runs diverged (see diff above)"; exit 1)
 
 # Library packages must never write to stdout/stderr directly — script
 # output goes through core.LogStore and diagnostics through internal/obs.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,15 +33,16 @@ func main() {
 		phones = flag.Int("phones", 50, "chaos: testbed size")
 		freeze = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
 		stats  = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
+		csvDir = flag.String("csv", "", "write accounting.csv, timeseries.csv, and ledger-derived table3.csv/table4.csv into this directory")
 	)
 	flag.Parse()
-	if err := runExperiments(*run, *days, *seed, *phones, *freeze, *stats); err != nil {
+	if err := runExperiments(*run, *days, *seed, *phones, *freeze, *stats, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, days int, seed int64, phones int, freeze, stats bool) error {
+func runExperiments(which string, days int, seed int64, phones int, freeze, stats bool, csvDir string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 	reg := obs.NewRegistry()
@@ -88,18 +90,28 @@ func runExperiments(which string, days int, seed int64, phones int, freeze, stat
 		fmt.Println(experiments.RenderTable3(rows))
 		fmt.Printf("(simulated 6 device-hours in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		printTable3Metrics(reg, rows)
+		if csvDir != "" {
+			if err := writeTable3CSV(csvDir, reg, rows); err != nil {
+				return err
+			}
+		}
 	}
 	if want("table4") {
 		ran = true
 		start := time.Now()
 		res, err := experiments.Table4(experiments.Table4Config{
-			Seed: seed, Days: days, FreezeThaw: freeze,
+			Seed: seed, Days: days, FreezeThaw: freeze, Obs: reg,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.RenderTable4(res))
 		fmt.Printf("(simulated %d days x 9 sessions in %v)\n\n", days, time.Since(start).Round(time.Second))
+		if csvDir != "" {
+			if err := writeTable4CSV(csvDir, reg, res); err != nil {
+				return err
+			}
+		}
 	}
 	if want("ablations") {
 		ran = true
@@ -124,7 +136,118 @@ func runExperiments(which string, days int, seed int64, phones int, freeze, stat
 		fmt.Println("metrics registry:")
 		obs.WriteText(os.Stdout, reg)
 	}
+	if csvDir != "" {
+		if err := writeLedgerCSVs(csvDir, reg); err != nil {
+			return err
+		}
+		fmt.Printf("ledger CSVs written to %s\n", csvDir)
+	}
 	return nil
+}
+
+// writeLedgerCSVs dumps the full per-entity accounting and the simulated-time
+// series. Both are byte-identical across same-seed runs (`make determinism`).
+func writeLedgerCSVs(dir string, reg *obs.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var buf strings.Builder
+	obs.WriteAccountingCSV(&buf, reg.Ledger())
+	if err := os.WriteFile(filepath.Join(dir, "accounting.csv"), []byte(buf.String()), 0o644); err != nil {
+		return err
+	}
+	buf.Reset()
+	obs.WriteSeriesCSV(&buf, reg.Series())
+	return os.WriteFile(filepath.Join(dir, "timeseries.csv"), []byte(buf.String()), 0o644)
+}
+
+// accountFor finds one ledger row in a snapshot.
+func accountFor(snap []obs.AccountSnapshot, device, script, topic string) obs.AccountSnapshot {
+	for _, a := range snap {
+		if a.Device == device && a.Script == script && a.Topic == topic {
+			return a
+		}
+	}
+	return obs.AccountSnapshot{}
+}
+
+// closeEnough allows 1% relative drift between the ledger's energy figure and
+// the experiment's own meter reading (they are integrated by independent code
+// paths from the same simulated events).
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := 0.01 * b
+	if tol < 0.01 {
+		tol = 0.01
+	}
+	return diff <= tol
+}
+
+// writeTable3CSV regenerates the Table 3 rows purely from the per-entity
+// ledger (entities "<carrier>/base" and "<carrier>/pogo") and cross-checks
+// them against the rows the experiment computed from its own meters.
+func writeTable3CSV(dir string, reg *obs.Registry, rows []experiments.Table3Row) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snap := reg.Ledger().Snapshot()
+	var sb strings.Builder
+	sb.WriteString("carrier,without_pogo_j,with_pogo_j,increase_pct,uplink_bytes,tail_hits,tail_misses\n")
+	match := "MATCH"
+	for _, r := range rows {
+		tag := strings.ToLower(r.Carrier)
+		base := accountFor(snap, tag+"/base", "", "")
+		with := accountFor(snap, tag+"/pogo", "", "")
+		inc := 0.0
+		if base.EnergyTotal > 0 {
+			inc = 100 * (with.EnergyTotal - base.EnergyTotal) / base.EnergyTotal
+		}
+		fmt.Fprintf(&sb, "%s,%.3f,%.3f,%.2f,%d,%d,%d\n", r.Carrier,
+			base.EnergyTotal, with.EnergyTotal, inc,
+			with.UplinkBytes, with.TailHits, with.TailMisses)
+		if !closeEnough(base.EnergyTotal, r.WithoutPogo) ||
+			!closeEnough(with.EnergyTotal, r.WithPogo) ||
+			with.UplinkBytes != r.UplinkBytes {
+			match = "MISMATCH"
+		}
+	}
+	fmt.Printf("table3 from ledger: %s vs experiment meters (1%% energy tolerance)\n", match)
+	return os.WriteFile(filepath.Join(dir, "table3.csv"), []byte(sb.String()), 0o644)
+}
+
+// writeTable4CSV regenerates the §5.3 uplink-reduction row from the ledger:
+// the counterfactual (dev, scan.js, wifi-scan-raw) uplink rows against the
+// collector's actually-delivered "clusters" downlink bytes.
+func writeTable4CSV(dir string, reg *obs.Registry, res experiments.Table4Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var raw, clustered int64
+	for _, a := range reg.Ledger().Snapshot() {
+		if a.Script == "scan.js" && a.Topic == "wifi-scan-raw" {
+			raw += a.UplinkBytes
+		}
+		if a.Device == "collector" && a.Script == "" && a.Topic == "clusters" {
+			clustered += a.DownlinkBytes
+		}
+	}
+	reduction := 0.0
+	if raw > 0 {
+		reduction = 100 * (1 - float64(clustered)/float64(raw))
+	}
+	match := "MATCH"
+	if !closeEnough(reduction, res.ReductionPct) {
+		match = "MISMATCH"
+	}
+	fmt.Printf("table4 from ledger: reduction=%.1f%% (experiment reported %.1f%%) %s\n",
+		reduction, res.ReductionPct, match)
+	var sb strings.Builder
+	sb.WriteString("raw_uplink_bytes,cluster_downlink_bytes,reduction_pct\n")
+	fmt.Fprintf(&sb, "%d,%d,%.2f\n", raw, clustered, reduction)
+	return os.WriteFile(filepath.Join(dir, "table4.csv"), []byte(sb.String()), 0o644)
 }
 
 // runChaos runs the seeded fault-injection scenario matrix and records

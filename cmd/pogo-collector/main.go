@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"pogo/internal/core"
 	"pogo/internal/geo"
@@ -84,12 +85,16 @@ func run(server, id, password, scriptDir, metricsAddr string) error {
 	})
 
 	if metricsAddr != "" {
+		// Sample the registry so /timeseries carries history for pogo-top
+		// and windowed rate queries.
+		stopSampling := obs.StartSampling(vclock.Real{}, reg, 5*time.Second, id)
+		defer stopSampling()
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, obs.Handler(reg)); err != nil {
 				fmt.Fprintln(os.Stderr, "pogo-collector: metrics:", err)
 			}
 		}()
-		fmt.Printf("pogo-collector: metrics on http://%s/metrics\n", metricsAddr)
+		fmt.Printf("pogo-collector: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries)\n", metricsAddr)
 	}
 
 	entries, err := os.ReadDir(scriptDir)

@@ -19,7 +19,10 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"pogo/internal/obs"
+	"pogo/internal/vclock"
 	"pogo/internal/xmpp"
 )
 
@@ -75,12 +78,16 @@ func run(addr string, autoReg bool, metricsAddr string, offlineQueue int, assoc 
 	defer srv.Close()
 	fmt.Printf("pogo-server: switchboard listening on %s (auto-register=%v)\n", srv.Addr(), autoReg)
 	if metricsAddr != "" {
+		// Feed /timeseries: sample the registry on a real-time cadence so
+		// pogo-top and windowed rate queries have history to work with.
+		stopSampling := obs.StartSampling(vclock.Real{}, reg, 5*time.Second, "server")
+		defer stopSampling()
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, obs.Handler(reg)); err != nil {
 				fmt.Fprintln(os.Stderr, "pogo-server: metrics:", err)
 			}
 		}()
-		fmt.Printf("pogo-server: metrics on http://%s/metrics\n", metricsAddr)
+		fmt.Printf("pogo-server: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries)\n", metricsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,101 @@
+// Command pogo-top is "top" for a Pogo testbed: it polls a running
+// pogo-server or pogo-collector's /accounting endpoint and renders a live
+// per-entity table — which device, script, and channel is spending the
+// joules, bytes, and CPU wake-ups (§6's per-script resource accounting).
+//
+// Usage:
+//
+//	pogo-top -addr 127.0.0.1:8622
+//	pogo-top -addr 127.0.0.1:8622 -once
+//
+// The address is whatever the node's -metrics flag was set to.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pogo/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8622", "metrics address of a running pogo-server/pogo-collector")
+		interval = flag.Duration("interval", 2*time.Second, "poll period")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	)
+	flag.Parse()
+	if err := run(*addr, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "pogo-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, interval time.Duration, once bool) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/accounting"
+
+	cur, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if once {
+		fmt.Print(obs.RenderTop(nil, cur, 0))
+		return nil
+	}
+	var prev []obs.AccountSnapshot
+	prevAt := time.Now()
+	for {
+		// Until a second snapshot exists there is no interval to rate
+		// against; dt=0 renders the rate columns as "-".
+		dt := time.Since(prevAt)
+		if prev == nil {
+			dt = 0
+		}
+		// Clear and home, then redraw — the classic top(1) loop.
+		fmt.Printf("\033[2J\033[H")
+		fmt.Printf("pogo-top  %s  %s  (poll every %v, ctrl-c quits)\n\n",
+			url, time.Now().Format("15:04:05"), interval)
+		fmt.Print(obs.RenderTop(prev, cur, dt))
+		prev, prevAt = cur, time.Now()
+		time.Sleep(interval)
+		next, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+}
+
+// fetch pulls and decodes one /accounting snapshot.
+func fetch(url string) ([]obs.AccountSnapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var payload struct {
+		Accounts []obs.AccountSnapshot `json:"accounts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return payload.Accounts, nil
+}

@@ -78,6 +78,10 @@ func run(server, id, password, stateDir string, seed int64, verbose bool, hide s
 	droid := android.NewDevice(clk, meter, android.Config{})
 	modem := radio.NewModem(clk, meter, radio.KPN)
 	conn := radio.NewConnectivity(modem, nil)
+	// Attribute energy to the ledger: the meter books every component except
+	// the modem, which the modem instrument splits by RRC state instead.
+	defer meter.Instrument(reg, id, "modem")()
+	defer modem.Instrument(reg, id)()
 
 	messenger, err := transport.DialXMPP(server, id, password, "phone")
 	if err != nil {

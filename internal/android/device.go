@@ -159,14 +159,28 @@ func (d *Device) WakeLocksHeld() int {
 // the CPU awake for a linger period even if fn returns immediately; this is
 // the per-wakeup overhead that makes 1 s alarm polling prohibitive (§4.7).
 func (d *Device) SetAlarm(delay time.Duration, fn func()) vclock.Timer {
+	return d.SetAlarmInfo(delay, func(bool) { fn() })
+}
+
+// SetAlarmInfo is SetAlarm with attribution: fn learns whether this alarm's
+// delivery pulled the CPU out of deep sleep (and therefore caused a full
+// linger window of awake time), or merely rode a CPU that was already awake.
+// The scheduler uses this to charge wake-milliseconds to the script whose
+// task forced the wakeup.
+func (d *Device) SetAlarmInfo(delay time.Duration, fn func(wokeCPU bool)) vclock.Timer {
 	return d.clk.AfterFunc(delay, func() {
 		d.mu.Lock()
+		wasAsleep := !d.awake
 		d.wakeLocked()
 		d.pokeLocked()
 		d.unlockAndNotify()
-		fn()
+		fn(wasAsleep)
 	})
 }
+
+// Linger returns how long the CPU stays awake after the last wake-worthy
+// event, for callers that attribute wake-up cost.
+func (d *Device) Linger() time.Duration { return d.cfg.Linger }
 
 // UptimeTimer is a handle on an UptimeAfterFunc callback.
 type UptimeTimer struct {

@@ -58,7 +58,7 @@ func newContext(n *Node, owner string) *Context {
 		localSubs: make(map[int]*localSub),
 		proxies:   make(map[string]map[int]*proxySub),
 	}
-	ctx.broker.Instrument(n.cfg.Obs, n.clk.Now, n.cfg.ID)
+	ctx.broker.Instrument(n.cfg.Obs, n.clk.Now, n.cfg.ID, n.cfg.ObsEntity)
 	n.smgr.AddBroker(ctx.broker)
 	return ctx
 }

@@ -115,6 +115,11 @@ type Config struct {
 	// tail detector, per-script usage). Nil disables observability at zero
 	// cost.
 	Obs *obs.Registry
+	// ObsEntity overrides the device axis that this node's ledger charges
+	// (energy, bytes, wakeups) are booked under. Defaults to ID. Experiment
+	// harnesses use it to keep trials apart (e.g. "kpn/pogo") while metric
+	// node labels stay stable.
+	ObsEntity string
 }
 
 // Node is a running Pogo middleware instance.
@@ -136,7 +141,8 @@ type Node struct {
 	stopFlush func()
 	closed    bool
 
-	obsCancel func() // unregisters the usage collect hook; nil without Obs
+	obsCancel    func()               // unregisters the usage collect hook; nil without Obs
+	usageAnchors map[string]lastUsage // previously ledger-charged usage per script
 }
 
 // NewNode assembles and starts a node: it attaches to the messenger,
@@ -175,6 +181,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.FlushPolicy == FlushTailSync && (cfg.Device == nil || cfg.Modem == nil) {
 		return nil, errors.New("core: FlushTailSync needs Device and Modem")
 	}
+	if cfg.ObsEntity == "" {
+		cfg.ObsEntity = cfg.ID
+	}
 
 	var box *store.Outbox
 	if cfg.OutboxPath == "" {
@@ -197,10 +206,24 @@ func NewNode(cfg Config) (*Node, error) {
 		deploys:  make(map[string]string),
 	}
 	n.smgr = sensors.NewManager(n.sch)
-	n.sch.Instrument(cfg.Obs, cfg.ID)
+	n.sch.Instrument(cfg.Obs, cfg.ID, cfg.ObsEntity)
+	// Task names follow the conventions in this package: "script-<name>"
+	// for subscription dispatch and "timeout-<name>" for setTimeout. Anything
+	// else (flush, presence, sensors) is middleware overhead and charges the
+	// bare device entity.
+	n.sch.SetTaskOwner(func(task string) string {
+		if s, ok := cutPrefix(task, "script-"); ok {
+			return s
+		}
+		if s, ok := cutPrefix(task, "timeout-"); ok {
+			return s
+		}
+		return ""
+	})
 	n.ep = transport.NewEndpoint(cfg.Messenger, box, cfg.Clock, transport.EndpointConfig{
 		MaxAge: cfg.MaxMessageAge,
 		Obs:    cfg.Obs,
+		Entity: cfg.ObsEntity,
 	})
 	n.ep.OnMessage(n.handleMessage)
 	cfg.Messenger.OnOnline(func() { n.sch.Submit("reconnect-flush", func() { n.Flush() }) })
@@ -237,11 +260,14 @@ func NewNode(cfg Config) (*Node, error) {
 		// when the outbox was already empty.
 		hits := cfg.Obs.Counter("tailsync_piggyback_hits_total", obs.L("node", cfg.ID))
 		misses := cfg.Obs.Counter("tailsync_piggyback_misses_total", obs.L("node", cfg.ID))
+		tailMeter := cfg.Obs.Meter(cfg.ObsEntity, "", "")
 		n.det.OnTraffic(func(int64) {
 			if n.Pending() > 0 {
 				hits.Inc()
+				tailMeter.AddTailHit(1)
 			} else {
 				misses.Inc()
+				tailMeter.AddTailMiss(1)
 			}
 			n.Flush()
 		})
@@ -542,4 +568,12 @@ func (n *Node) peersForContext(c *Context) []string {
 		return []string{c.owner}
 	}
 	return n.cfg.Messenger.Peers()
+}
+
+// cutPrefix is strings.CutPrefix, inlined to keep this file's imports flat.
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
 }

@@ -16,11 +16,13 @@ type ScriptUsage struct {
 	Name    string
 	// Entries counts calls into script code; Steps the interpreter steps
 	// they consumed (the CPU-time proxy); Publishes the messages the script
-	// emitted; Errors the runtime failures.
-	Entries   int
-	Errors    int
-	Publishes int
-	Steps     int64
+	// emitted; Errors the runtime failures, of which DeadlineExceeded were
+	// §4.5 step-budget overruns.
+	Entries          int
+	Errors           int
+	DeadlineExceeded int
+	Publishes        int
+	Steps            int64
 	// EstimatedJoules is the PowerModel applied to the counters.
 	EstimatedJoules float64
 }
@@ -77,13 +79,14 @@ func (n *Node) ScriptUsages(model PowerModel) []ScriptUsage {
 			}
 			st := d.inst.StatsSnapshot()
 			out = append(out, ScriptUsage{
-				Context:         owner,
-				Name:            name,
-				Entries:         st.Entries,
-				Errors:          st.Errors,
-				Publishes:       st.Publishes,
-				Steps:           st.Steps,
-				EstimatedJoules: model.Estimate(st.Steps, st.Publishes),
+				Context:          owner,
+				Name:             name,
+				Entries:          st.Entries,
+				Errors:           st.Errors,
+				DeadlineExceeded: st.DeadlineExceeded,
+				Publishes:        st.Publishes,
+				Steps:            st.Steps,
+				EstimatedJoules:  model.Estimate(st.Steps, st.Publishes),
 			})
 		}
 	}
@@ -100,6 +103,12 @@ func (n *Node) ScriptUsages(model PowerModel) []ScriptUsage {
 // gauges (gauges, not counters: script updates reset the runtime's counters,
 // so values are not monotonic). Runs as a Registry.OnCollect hook before
 // every snapshot, and once more at Close.
+//
+// It also charges the *increase* since the previous export to the per-entity
+// ledger, so (device, script, "") rows accumulate steps, publishes, deadline
+// overruns, and modeled CPU energy (state "cpu-model") monotonically even
+// across script updates: a counter that shrank means a fresh instance, and
+// the anchor resets to zero so the new instance's full activity is charged.
 func (n *Node) exportUsage() {
 	reg := n.cfg.Obs
 	if reg == nil {
@@ -116,5 +125,44 @@ func (n *Node) exportUsage() {
 		reg.Gauge("script_publishes", ls...).Set(float64(u.Publishes))
 		reg.Gauge("script_steps", ls...).Set(float64(u.Steps))
 		reg.Gauge("script_estimated_joules", ls...).Set(u.EstimatedJoules)
+		n.chargeUsage(reg, u)
+	}
+}
+
+// lastUsage anchors the previously charged counter values per script, so
+// exportUsage books deltas rather than re-booking totals on every collect.
+type lastUsage struct {
+	steps     int64
+	publishes int
+	deadlines int
+	joules    float64
+}
+
+func (n *Node) chargeUsage(reg *obs.Registry, u ScriptUsage) {
+	n.mu.Lock()
+	if n.usageAnchors == nil {
+		n.usageAnchors = make(map[string]lastUsage)
+	}
+	key := u.Context + "\x00" + u.Name
+	prev := n.usageAnchors[key]
+	if u.Steps < prev.steps || u.Publishes < prev.publishes ||
+		u.DeadlineExceeded < prev.deadlines || u.EstimatedJoules < prev.joules {
+		prev = lastUsage{} // script was updated; counters restarted
+	}
+	n.usageAnchors[key] = lastUsage{
+		steps:     u.Steps,
+		publishes: u.Publishes,
+		deadlines: u.DeadlineExceeded,
+		joules:    u.EstimatedJoules,
+	}
+	entity := n.cfg.ObsEntity
+	n.mu.Unlock()
+
+	m := reg.Meter(entity, u.Name, "")
+	m.AddSteps(u.Steps - prev.steps)
+	m.AddMessages(int64(u.Publishes - prev.publishes))
+	m.AddDeadlineExceeded(int64(u.DeadlineExceeded - prev.deadlines))
+	if dj := u.EstimatedJoules - prev.joules; dj > 0 {
+		m.AddEnergy("cpu-model", dj)
 	}
 }

@@ -178,10 +178,24 @@ func (m *Meter) EnergyBreakdown() map[string]float64 {
 	return out
 }
 
+// sumLocked totals the current draw. Components are added in sorted order:
+// float addition is order-sensitive, and map iteration order varies between
+// runs, which would make accumulated joules differ in their last bits across
+// two same-seed runs and break byte-identical accounting exports.
 func (m *Meter) sumLocked() float64 {
+	if len(m.levels) == 1 {
+		for _, w := range m.levels {
+			return w
+		}
+	}
+	names := make([]string, 0, len(m.levels))
+	for n := range m.levels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for _, w := range m.levels {
-		sum += w
+	for _, n := range names {
+		sum += m.levels[n]
 	}
 	return sum
 }

@@ -1,0 +1,52 @@
+package energy
+
+import (
+	"sort"
+
+	"pogo/internal/obs"
+)
+
+// Instrument mirrors the meter into the registry and charges per-component
+// joule deltas to the ledger entity (device, "", ""). Before this existed the
+// meter double-booked joules in its own struct and never surfaced them on
+// /metrics.
+//
+// Gauges track the meter's absolute reading (so a Reset shows up as a drop);
+// the ledger is charged only with positive deltas observed between collects,
+// so it accumulates exactly the energy spent while instrumented. skip names
+// components whose joules are attributed elsewhere at finer grain (the
+// experiments pass "modem" when radio.Modem.Instrument charges per-RRC-state
+// energy for the same device).
+//
+// The returned cancel removes the collect hook; call reg.Collect() first if
+// the final partial interval matters.
+func (m *Meter) Instrument(reg *obs.Registry, device string, skip ...string) (cancel func()) {
+	if reg == nil || m == nil {
+		return func() {}
+	}
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	em := reg.Meter(device, "", "")
+	last := make(map[string]float64)
+	return reg.OnCollect(func() {
+		bd := m.EnergyBreakdown()
+		reg.Gauge("energy_joules", obs.L("node", device)).Set(m.Energy())
+		comps := make([]string, 0, len(bd))
+		for c := range bd {
+			comps = append(comps, c)
+		}
+		sort.Strings(comps)
+		for _, c := range comps {
+			reg.Gauge("energy_component_joules", obs.L("node", device), obs.L("component", c)).Set(bd[c])
+			if skipSet[c] {
+				continue
+			}
+			if d := bd[c] - last[c]; d > 0 {
+				em.AddEnergy(c, d)
+			}
+			last[c] = bd[c]
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"pogo/internal/env"
 	"pogo/internal/geo"
 	"pogo/internal/msg"
+	"pogo/internal/obs"
 	"pogo/internal/pubsub"
 	"pogo/internal/radio"
 	"pogo/internal/script/scripts"
@@ -78,6 +79,13 @@ type Table4Config struct {
 	Sessions []SessionConfig
 	// WorkDir hosts the durable outbox files; defaults to a temp dir.
 	WorkDir string
+	// Obs, when non-nil, instruments every session's nodes into this
+	// registry. Device charges land under the session's DeviceID entity; the
+	// collector's "clusters" channel row accumulates the payload bytes that
+	// actually crossed the network, and a counterfactual
+	// (DeviceID, "scan.js", "wifi-scan-raw") row accumulates what shipping
+	// raw scans would have cost — the two sides of the §5.3 reduction.
+	Obs *obs.Registry
 }
 
 // DefaultSessions builds the paper's 9 sessions (8 users; user 2 split into
@@ -196,6 +204,7 @@ func runSession(world *env.World, sess SessionConfig, cfg Table4Config) (Session
 	colPort := sb.Port("collector", nil)
 	col, err := core.NewNode(core.Config{
 		ID: "collector", Mode: core.CollectorMode, Clock: clk, Messenger: colPort,
+		Obs: cfg.Obs,
 	})
 	if err != nil {
 		return SessionResult{}, err
@@ -247,6 +256,9 @@ func runSession(world *env.World, sess SessionConfig, cfg Table4Config) (Session
 
 	var raws []rawScan
 	var rawBytes int64
+	// Counterfactual ledger row: what shipping every raw scan would have
+	// cost in uplink payload bytes had clustering.js not run on the phone.
+	rawMeter := cfg.Obs.Meter(sess.DeviceID, "scan.js", "wifi-scan-raw")
 	view.OnScan = func(t time.Time, aps []sensors.AccessPoint) {
 		cp := make([]sensors.AccessPoint, len(aps))
 		copy(cp, aps)
@@ -257,12 +269,13 @@ func runSession(world *env.World, sess SessionConfig, cfg Table4Config) (Session
 		}
 		if b, err := msg.EncodeJSON(msg.Map{"aps": list, "timestamp": float64(t.UnixMilli())}); err == nil {
 			rawBytes += int64(len(b))
+			rawMeter.AddUplink(int64(len(b)))
 		}
 	}
 
 	dev := &sessionDevice{
 		clk: clk, sb: sb, sess: sess, storage: storage,
-		outboxPath: outboxPath, view: view,
+		outboxPath: outboxPath, view: view, obs: cfg.Obs,
 	}
 	if err := dev.boot(); err != nil {
 		return SessionResult{}, err
@@ -358,6 +371,7 @@ type sessionDevice struct {
 	storage    store.KV
 	outboxPath string
 	view       *env.DeviceView
+	obs        *obs.Registry
 
 	node    *core.Node
 	port    *transport.Port
@@ -387,6 +401,7 @@ func (d *sessionDevice) boot() error {
 		ID: d.sess.DeviceID, Mode: core.DeviceMode, Clock: d.clk, Messenger: port,
 		Device: droid, Modem: modem, Storage: d.storage, OutboxPath: d.outboxPath,
 		FlushPolicy: core.FlushInterval, FlushEvery: 5 * time.Minute,
+		Obs: d.obs,
 	})
 	if err != nil {
 		return err

@@ -39,6 +39,11 @@ type PowerTrialConfig struct {
 	Log *android.ActivityLog
 	// Obs, when non-nil, instruments both nodes into this registry.
 	Obs *obs.Registry
+	// ObsDevice is the ledger entity axis this trial's energy, bytes, and
+	// time-series samples are booked under; "" means "phone". Table3Obs
+	// uses it to keep per-carrier trials apart in one registry while the
+	// metric node labels stay "phone"/"collector".
+	ObsDevice string
 }
 
 func (c PowerTrialConfig) withDefaults() PowerTrialConfig {
@@ -56,6 +61,9 @@ func (c PowerTrialConfig) withDefaults() PowerTrialConfig {
 	}
 	if c.FlushEvery == 0 {
 		c.FlushEvery = time.Hour
+	}
+	if c.ObsDevice == "" {
+		c.ObsDevice = "phone"
 	}
 	return c
 }
@@ -132,7 +140,7 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 			ID: "phone", Mode: core.DeviceMode, Clock: clk, Messenger: devPort,
 			Device: droid, Modem: modem, Storage: store.NewMemKV(),
 			FlushPolicy: cfg.Policy, FlushEvery: cfg.FlushEvery,
-			Obs: cfg.Obs,
+			Obs: cfg.Obs, ObsEntity: cfg.ObsDevice,
 		})
 		if err != nil {
 			panic(err)
@@ -181,6 +189,16 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 	// before the measured hour begins.
 	clk.Advance(3 * time.Minute)
 	meter.Reset()
+	// Instrument the power sources only now, so the ledger (like the meter)
+	// sees nothing but the measured window. The meter skips its "modem"
+	// component because the modem instrument books that energy per RRC state.
+	var stopObs []func()
+	if cfg.Obs != nil {
+		stopObs = append(stopObs,
+			meter.Instrument(cfg.Obs, cfg.ObsDevice, "modem"),
+			modem.Instrument(cfg.Obs, cfg.ObsDevice),
+			obs.StartSampling(clk, cfg.Obs, time.Minute, cfg.ObsDevice))
+	}
 	rampsBefore, checksBefore := rampUps, email.Checks()
 	if cfg.RecordTrace {
 		meter.StartTrace()
@@ -211,6 +229,12 @@ func RunPowerTrial(cfg PowerTrialConfig) PowerTrialResult {
 	}
 	if devNode != nil {
 		res.UplinkBytes = devNode.Endpoint().Stats().BytesSent
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Collect() // book the window's final energy and usage deltas
+		for _, stop := range stopObs {
+			stop()
+		}
 	}
 	email.Stop()
 	return res
@@ -248,14 +272,19 @@ type Table3Row struct {
 // Table3 reruns the §5.2 experiment across the three carriers.
 func Table3() []Table3Row { return Table3Obs(nil) }
 
-// Table3Obs is Table3 with every with-Pogo trial instrumented into reg (the
-// registry accumulates across carriers: the phone's uplink-bytes counter
-// ends at the sum of the rows' UplinkBytes). reg may be nil.
+// Table3Obs is Table3 with every trial instrumented into reg (the registry
+// accumulates across carriers: the phone's uplink-bytes counter ends at the
+// sum of the rows' UplinkBytes). Each trial's ledger charges land under
+// their own entity — "<carrier>/base" and "<carrier>/pogo" — so the table
+// can be regenerated from the accounting alone. reg may be nil.
 func Table3Obs(reg *obs.Registry) []Table3Row {
 	rows := make([]Table3Row, 0, 3)
 	for _, carrier := range radio.Carriers() {
-		base := RunPowerTrial(PowerTrialConfig{Carrier: carrier})
-		with := RunPowerTrial(PowerTrialConfig{Carrier: carrier, WithPogo: true, Obs: reg})
+		tag := strings.ToLower(carrier.Name)
+		base := RunPowerTrial(PowerTrialConfig{Carrier: carrier, Obs: reg,
+			ObsDevice: tag + "/base"})
+		with := RunPowerTrial(PowerTrialConfig{Carrier: carrier, WithPogo: true, Obs: reg,
+			ObsDevice: tag + "/pogo"})
 		rows = append(rows, Table3Row{
 			Carrier:     carrier.Name,
 			WithoutPogo: base.Joules,

@@ -6,23 +6,61 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 )
 
-// Handler returns an http.Handler exposing the registry expvar-style:
+// Handler returns an http.Handler exposing the registry:
 //
-//	GET /metrics            — full Snapshot as JSON (counters, gauges, histograms)
+//	GET /metrics            — Prometheus text exposition format (scrape this)
+//	GET /metrics.json       — full Snapshot as JSON (counters, gauges, histograms)
+//	GET /accounting         — the per-entity resource ledger as JSON
+//	GET /timeseries         — retained time-series samples as JSON (?last=N limits)
 //	GET /trace              — retained lifecycle events as JSON
 //	GET /trace?channel=ch   — events for one channel
 //	GET /stats              — the human-readable text dump (same as -stats)
 //
-// Everything is stdlib-only JSON; point curl or a scraper at it.
+// Everything is stdlib-only; point curl, a Prometheus scraper, or pogo-top
+// at it.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/accounting", func(w http.ResponseWriter, req *http.Request) {
+		r.Collect() // book any pull-style deltas before reading the ledger
+		accounts := r.Ledger().Snapshot()
+		if accounts == nil {
+			accounts = []AccountSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Accounts []AccountSnapshot `json:"accounts"`
+		}{accounts})
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, req *http.Request) {
+		samples := r.Series().Samples()
+		if n, err := strconv.Atoi(req.URL.Query().Get("last")); err == nil && n >= 0 && n < len(samples) {
+			samples = samples[len(samples)-n:]
+		}
+		if samples == nil {
+			samples = []SeriesSample{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Dropped uint64         `json:"dropped"`
+			Samples []SeriesSample `json:"samples"`
+		}{r.Series().Dropped(), samples})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -76,6 +114,15 @@ func WriteText(w io.Writer, r *Registry) {
 				mean = h.Sum / float64(h.Count)
 			}
 			fmt.Fprintf(w, "  %-64s count=%d sum=%g mean=%g\n", k, h.Count, h.Sum, mean)
+		}
+	}
+	if accts := r.Ledger().Snapshot(); len(accts) > 0 {
+		section("accounting (device/script/topic)")
+		for _, a := range accts {
+			fmt.Fprintf(w, "  %-44s energy=%.3fJ up=%dB down=%dB msgs=%d wake=%dms steps=%d deadline=%d tail=%d/%d\n",
+				a.Device+"/"+a.Script+"/"+a.Topic,
+				a.EnergyTotal, a.UplinkBytes, a.DownlinkBytes, a.Messages,
+				a.WakeMS, a.Steps, a.DeadlineExceeded, a.TailHits, a.TailHits+a.TailMisses)
 		}
 	}
 }

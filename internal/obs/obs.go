@@ -120,9 +120,10 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN observations are dropped: they cannot be
+// bucketed meaningfully and would poison the running sum.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
@@ -161,6 +162,64 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"` // len(Bounds)+1; last is +Inf
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the owning bucket, the same estimator Prometheus uses for
+// histogram_quantile. Returns NaN for an empty histogram or q outside
+// [0, 1]. When the quantile lands in the +Inf overflow bucket the largest
+// finite bound is returned (there is no upper edge to interpolate toward).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Counts {
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(s.Bounds) { // +Inf bucket
+				if len(s.Bounds) == 0 {
+					return math.NaN()
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			within := rank - float64(cum)
+			return lo + (hi-lo)*(within/float64(n))
+		}
+		cum += n
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Sub returns the histogram of observations made after prev was taken,
+// assuming prev is an earlier snapshot of the same histogram. Used for
+// windowed quantiles over the time-series store.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]int64, len(s.Counts)),
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i]
+		if i < len(prev.Counts) {
+			out.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return out
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:  h.count.Load(),
@@ -183,20 +242,45 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
+	meta       map[string]metricMeta // canonical key -> family name + labels
 	collectors map[int]func()
 	nextID     int
 	tracer     *Tracer
+	ledger     *Ledger
+	series     *SeriesStore
 }
 
-// NewRegistry returns an empty registry with an attached tracer.
+// metricMeta remembers the structured identity behind a canonical key so the
+// Prometheus exposition can regroup series into families.
+type metricMeta struct {
+	name   string
+	labels []Label // sorted by key
+}
+
+// NewRegistry returns an empty registry with an attached tracer, ledger, and
+// time-series store.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		hists:      make(map[string]*Histogram),
+		meta:       make(map[string]metricMeta),
 		collectors: make(map[int]func()),
 		tracer:     NewTracer(DefaultTraceCapacity),
+		ledger:     NewLedger(),
+		series:     NewSeriesStore(DefaultSeriesCapacity),
 	}
+}
+
+// recordMeta stores the family identity for a canonical key. Caller holds
+// r.mu.
+func (r *Registry) recordMeta(k, name string, labels []Label) {
+	if _, ok := r.meta[k]; ok {
+		return
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.meta[k] = metricMeta{name: name, labels: ls}
 }
 
 // key renders the canonical metric identity: name{k1=v1,k2=v2} with label
@@ -235,6 +319,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[k] = c
+		r.recordMeta(k, name, labels)
 	}
 	return c
 }
@@ -265,6 +350,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[k] = g
+		r.recordMeta(k, name, labels)
 	}
 	return g
 }
@@ -283,6 +369,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if !ok {
 		h = newHistogram(bounds)
 		r.hists[k] = h
+		r.recordMeta(k, name, labels)
 	}
 	return h
 }
@@ -293,6 +380,52 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Ledger returns the registry's per-entity resource ledger (nil on a nil
+// registry; a nil ledger hands out nil Meters).
+func (r *Registry) Ledger() *Ledger {
+	if r == nil {
+		return nil
+	}
+	return r.ledger
+}
+
+// Meter is shorthand for Ledger().Meter: the charging handle for one
+// (device, script, topic) entity. Nil-safe end to end.
+func (r *Registry) Meter(device, script, topic string) *Meter {
+	return r.Ledger().Meter(device, script, topic)
+}
+
+// Series returns the registry's time-series store (nil on a nil registry).
+func (r *Registry) Series() *SeriesStore {
+	if r == nil {
+		return nil
+	}
+	return r.series
+}
+
+// Collect runs the registered collect hooks without building a snapshot.
+// Components whose hooks push deltas into the ledger call this before
+// cancelling the hook so the final partial interval is booked.
+func (r *Registry) Collect() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ids := make([]int, 0, len(r.collectors))
+	for id := range r.collectors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	hooks := make([]func(), 0, len(ids))
+	for _, id := range ids {
+		hooks = append(hooks, r.collectors[id])
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // OnCollect registers fn to run before every Snapshot — components use it to
@@ -332,15 +465,9 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	hooks := make([]func(), 0, len(r.collectors))
-	for _, fn := range r.collectors {
-		hooks = append(hooks, fn)
-	}
-	r.mu.Unlock()
-	for _, fn := range hooks {
-		fn() // may register/set instruments; must run outside r.mu
-	}
+	// Hooks run outside r.mu (they may register/set instruments), in
+	// registration order so any deltas they book are order-deterministic.
+	r.Collect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for k, c := range r.counters {

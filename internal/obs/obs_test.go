@@ -214,12 +214,46 @@ func TestHandlerEndpoints(t *testing.T) {
 		return w.Body.String()
 	}
 
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE transport_bytes_sent_total counter",
+		"# HELP transport_bytes_sent_total",
+		`transport_bytes_sent_total{node="phone"} 123`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
 	var snap Snapshot
-	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
-		t.Fatalf("bad /metrics JSON: %v", err)
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("bad /metrics.json JSON: %v", err)
 	}
 	if snap.Counters["transport_bytes_sent_total{node=phone}"] != 123 {
 		t.Errorf("metrics = %+v", snap.Counters)
+	}
+
+	r.Meter("phone", "gsm.js", "battery").AddUplink(45)
+	var acct struct {
+		Accounts []AccountSnapshot `json:"accounts"`
+	}
+	if err := json.Unmarshal([]byte(get("/accounting")), &acct); err != nil {
+		t.Fatalf("bad /accounting JSON: %v", err)
+	}
+	if len(acct.Accounts) != 1 || acct.Accounts[0].UplinkBytes != 45 || acct.Accounts[0].Script != "gsm.js" {
+		t.Errorf("accounting = %+v", acct.Accounts)
+	}
+
+	r.Sample(time.Date(2012, 6, 1, 0, 1, 0, 0, time.UTC), "test")
+	var ts struct {
+		Dropped uint64         `json:"dropped"`
+		Samples []SeriesSample `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(get("/timeseries")), &ts); err != nil {
+		t.Fatalf("bad /timeseries JSON: %v", err)
+	}
+	if len(ts.Samples) != 1 || ts.Samples[0].Counters["transport_bytes_sent_total{node=phone}"] != 123 {
+		t.Errorf("timeseries = %+v", ts.Samples)
 	}
 
 	var trace struct {

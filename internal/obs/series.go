@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"pogo/internal/vclock"
+)
+
+// DefaultSeriesCapacity bounds the ring of retained samples. At the default
+// 30 s experiment cadence this holds 8.5 simulated hours; live servers at
+// 5 s hold ~85 minutes.
+const DefaultSeriesCapacity = 1024
+
+// SeriesSample is one registry snapshot at an instant. Timestamps come from
+// the caller's clock (vclock.Sim in experiments), never from the wall, so a
+// seeded run produces byte-identical sample streams.
+type SeriesSample struct {
+	At         time.Time                    `json:"at"`
+	Tag        string                       `json:"tag,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// SeriesStore is a fixed-capacity ring of SeriesSamples with windowed
+// rate and quantile queries. A nil *SeriesStore ignores appends and returns
+// empty results.
+type SeriesStore struct {
+	mu      sync.Mutex
+	ring    []SeriesSample
+	start   int // index of oldest sample
+	n       int
+	dropped uint64
+}
+
+// NewSeriesStore returns an empty store retaining up to capacity samples
+// (DefaultSeriesCapacity if capacity <= 0).
+func NewSeriesStore(capacity int) *SeriesStore {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &SeriesStore{ring: make([]SeriesSample, capacity)}
+}
+
+// Append records one sample, evicting the oldest when full.
+func (s *SeriesStore) Append(sample SeriesSample) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < len(s.ring) {
+		s.ring[(s.start+s.n)%len(s.ring)] = sample
+		s.n++
+		return
+	}
+	s.ring[s.start] = sample
+	s.start = (s.start + 1) % len(s.ring)
+	s.dropped++
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *SeriesStore) Samples() []SeriesSample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesSample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(s.start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Len returns the number of retained samples.
+func (s *SeriesStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Dropped returns how many samples have been evicted since creation.
+func (s *SeriesStore) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Window returns samples with from <= At <= to, oldest first.
+func (s *SeriesStore) Window(from, to time.Time) []SeriesSample {
+	all := s.Samples()
+	out := make([]SeriesSample, 0, len(all))
+	for _, sm := range all {
+		if !sm.At.Before(from) && !sm.At.After(to) {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// Rate returns the per-second increase of the counter with canonical key k
+// over the trailing window, measured from the newest sample backwards.
+// Returns 0 with fewer than two samples in the window.
+func (s *SeriesStore) Rate(k string, window time.Duration) float64 {
+	all := s.Samples()
+	if len(all) == 0 {
+		return 0
+	}
+	newest := all[len(all)-1]
+	var oldest *SeriesSample
+	for i := range all {
+		if !all[i].At.Before(newest.At.Add(-window)) {
+			oldest = &all[i]
+			break
+		}
+	}
+	if oldest == nil || !newest.At.After(oldest.At) {
+		return 0
+	}
+	dv := newest.Counters[k] - oldest.Counters[k]
+	dt := newest.At.Sub(oldest.At).Seconds()
+	return float64(dv) / dt
+}
+
+// QuantileOver returns the q-quantile of observations of histogram k made
+// inside the trailing window (the newest cumulative snapshot minus the
+// oldest in-window one). NaN when the window holds no observations.
+func (s *SeriesStore) QuantileOver(k string, window time.Duration, q float64) float64 {
+	all := s.Samples()
+	if len(all) == 0 {
+		return math.NaN()
+	}
+	newest := all[len(all)-1]
+	var oldest *SeriesSample
+	for i := range all {
+		if !all[i].At.Before(newest.At.Add(-window)) {
+			oldest = &all[i]
+			break
+		}
+	}
+	h, ok := newest.Histograms[k]
+	if !ok || oldest == nil {
+		return math.NaN()
+	}
+	if prev, ok := oldest.Histograms[k]; ok && !newest.At.Equal(oldest.At) {
+		h = h.Sub(prev)
+	}
+	return h.Quantile(q)
+}
+
+// StartSampling snapshots the registry every interval on clk, appending to
+// the registry's series store with the given tag. Returns a stop function.
+// On a simulated clock the callback runs in deterministic event order, so
+// two same-seed runs record identical streams.
+func StartSampling(clk vclock.Clock, r *Registry, interval time.Duration, tag string) (stop func()) {
+	if r == nil || clk == nil || interval <= 0 {
+		return func() {}
+	}
+	var (
+		mu      sync.Mutex
+		stopped bool
+		timer   vclock.Timer
+	)
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		r.Sample(clk.Now(), tag)
+		mu.Lock()
+		if !stopped {
+			timer = clk.AfterFunc(interval, tick)
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	timer = clk.AfterFunc(interval, tick)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		stopped = true
+		t := timer
+		mu.Unlock()
+		if t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// Sample takes one snapshot (running collect hooks) at the given instant and
+// appends it to the series store. No-op on a nil registry.
+func (r *Registry) Sample(at time.Time, tag string) {
+	if r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	r.series.Append(SeriesSample{
+		At:         at,
+		Tag:        tag,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	})
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTop formats two ledger snapshots, taken dt apart, as the live table
+// pogo-top displays: one row per entity, heaviest energy spender first. The
+// energy share column is each row's fraction of the energy booked across all
+// rows with an energy figure (only device rows and the modeled per-script
+// rows carry one); message rates come from the delta between the snapshots.
+// It returns the rendered string so the caller owns all terminal I/O.
+func RenderTop(prev, cur []AccountSnapshot, dt time.Duration) string {
+	prevBy := make(map[Entity]AccountSnapshot, len(prev))
+	for _, a := range prev {
+		prevBy[a.Entity] = a
+	}
+	var totalJ float64
+	for _, a := range cur {
+		totalJ += a.EnergyTotal
+	}
+	rows := append([]AccountSnapshot(nil), cur...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].EnergyTotal != rows[j].EnergyTotal {
+			return rows[i].EnergyTotal > rows[j].EnergyTotal
+		}
+		a, b := rows[i].Entity, rows[j].Entity
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Script != b.Script {
+			return a.Script < b.Script
+		}
+		return a.Topic < b.Topic
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-18s %-18s %10s %5s %10s %10s %8s %7s %8s %5s\n",
+		"DEVICE", "SCRIPT", "TOPIC", "ENERGY J", "EN%", "UP B", "DOWN B",
+		"MSGS", "MSG/S", "WAKE ms", "TAIL%")
+	for _, a := range rows {
+		p := prevBy[a.Entity]
+		rate := "-"
+		if dt > 0 {
+			rate = fmt.Sprintf("%.2f", float64(a.Messages-p.Messages)/dt.Seconds())
+		}
+		enPct := "-"
+		if totalJ > 0 && a.EnergyTotal > 0 {
+			enPct = fmt.Sprintf("%.1f", 100*a.EnergyTotal/totalJ)
+		}
+		tail := "-"
+		if n := a.TailHits + a.TailMisses; n > 0 {
+			tail = fmt.Sprintf("%.0f", 100*float64(a.TailHits)/float64(n))
+		}
+		fmt.Fprintf(&sb, "%-16s %-18s %-18s %10.3f %5s %10d %10d %8d %7s %8d %5s\n",
+			clip(a.Device, 16), clip(a.Script, 18), clip(a.Topic, 18),
+			a.EnergyTotal, enPct, a.UplinkBytes, a.DownlinkBytes,
+			a.Messages, rate, a.WakeMS, tail)
+	}
+	return sb.String()
+}
+
+// clip shortens s to width runes with a trailing ellipsis.
+func clip(s string, width int) string {
+	if len(s) <= width {
+		return s
+	}
+	if width <= 1 {
+		return s[:width]
+	}
+	return s[:width-1] + "…"
+}

@@ -64,30 +64,35 @@ type Broker struct {
 // brokerObs bundles the broker's instruments; all fields are nil-safe.
 type brokerObs struct {
 	node       string
+	entity     string
 	now        func() time.Time
 	publishes  *obs.Counter
 	deliveries *obs.Counter
 	fanout     *obs.Histogram
 	active     *obs.Gauge
 	tracer     *obs.Tracer
+	ledger     *obs.Ledger
 }
 
 // Instrument attaches the broker to a metrics registry. node labels the
-// metrics; now supplies trace timestamps (the owning node's clock, so
-// simulated runs trace deterministically). Safe to call at most once, before
-// traffic flows.
-func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node string) {
+// metrics; entity is the ledger device axis that per-topic message counts
+// are charged to (usually the node ID); now supplies trace timestamps (the
+// owning node's clock, so simulated runs trace deterministically). Safe to
+// call at most once, before traffic flows.
+func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node, entity string) {
 	if reg == nil || now == nil {
 		return
 	}
 	o := &brokerObs{
 		node:       node,
+		entity:     entity,
 		now:        now,
 		publishes:  reg.Counter("pubsub_publishes_total", obs.L("node", node)),
 		deliveries: reg.Counter("pubsub_deliveries_total", obs.L("node", node)),
 		fanout:     reg.Histogram("pubsub_fanout_subscribers", obs.CountBuckets, obs.L("node", node)),
 		active:     reg.Gauge("pubsub_subscriptions_active", obs.L("node", node)),
 		tracer:     reg.Tracer(),
+		ledger:     reg.Ledger(),
 	}
 	b.mu.Lock()
 	b.obs = o
@@ -170,6 +175,9 @@ func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 			detail += " origin=" + origin
 		}
 		o.tracer.Record(o.now(), o.node, channel, stage, 0, detail)
+		if o.ledger != nil {
+			o.ledger.Meter(o.entity, "", channel).AddMessages(1)
+		}
 	}
 	for _, s := range subs {
 		if s.handler == nil {

@@ -1,0 +1,59 @@
+package radio
+
+import (
+	"sync"
+	"time"
+
+	"pogo/internal/obs"
+)
+
+// Instrument attributes the modem's energy to RRC states in the registry's
+// per-entity ledger, under entity (device, "", "") with states named
+// "modem:RAMP", "modem:TX", "modem:DCH", "modem:FACH". It also maintains
+// per-state dwell/energy gauges and a transition counter.
+//
+// The integration is piecewise constant exactly like the energy meter's, so
+// the sum over modem:* states equals the meter's "modem" component over the
+// same interval; callers instrumenting both pass skip="modem" to
+// energy.Meter.Instrument to avoid double-booking.
+//
+// The returned cancel removes the collect hook that books the in-progress
+// dwell; the state-change listener cannot be unregistered (the modem keeps
+// no removable listener list) but charges nothing once the modem is idle.
+func (m *Modem) Instrument(reg *obs.Registry, device string) (cancel func()) {
+	if m == nil || reg == nil {
+		return func() {}
+	}
+	em := reg.Meter(device, "", "")
+	var st struct {
+		sync.Mutex
+		state State
+		at    time.Time
+	}
+	st.state = m.State()
+	st.at = m.clk.Now()
+	// charge books the dwell in the current state up to `until`; on a
+	// transition it then anchors the new state.
+	charge := func(until time.Time, next State, transition bool) {
+		st.Lock()
+		defer st.Unlock()
+		if until.After(st.at) {
+			dt := until.Sub(st.at).Seconds()
+			name := st.state.String()
+			if w := m.statePower(st.state); w > 0 {
+				j := w * dt
+				em.AddEnergy("modem:"+name, j)
+				reg.Gauge("radio_state_joules", obs.L("node", device), obs.L("state", name)).Add(j)
+			}
+			reg.Gauge("radio_state_seconds", obs.L("node", device), obs.L("state", name)).Add(dt)
+			st.at = until
+		}
+		if transition {
+			st.state = next
+			st.at = until
+			reg.Counter("radio_state_transitions_total", obs.L("node", device), obs.L("state", next.String())).Inc()
+		}
+	}
+	m.OnStateChange(func(old, new State, at time.Time) { charge(at, new, true) })
+	return reg.OnCollect(func() { charge(m.clk.Now(), Idle, false) })
+}

@@ -37,11 +37,16 @@ type Scheduler struct {
 	// Instruments; nil (no-op) until Instrument is called.
 	scheduled *obs.Counter
 	ran       *obs.Counter
+	wakeups   *obs.Counter
+	ledger    *obs.Ledger
+	entity    string
+	owner     func(taskName string) string
 }
 
 // Instrument attaches the scheduler to a metrics registry; node labels the
-// metrics. Call before tasks are submitted.
-func (s *Scheduler) Instrument(reg *obs.Registry, node string) {
+// metrics and entity is the ledger device axis that CPU wakeups are charged
+// to (usually the node ID). Call before tasks are submitted.
+func (s *Scheduler) Instrument(reg *obs.Registry, node, entity string) {
 	if reg == nil {
 		return
 	}
@@ -50,6 +55,38 @@ func (s *Scheduler) Instrument(reg *obs.Registry, node string) {
 	defer s.mu.Unlock()
 	s.scheduled = reg.Counter("sched_tasks_scheduled_total", l)
 	s.ran = reg.Counter("sched_tasks_run_total", l)
+	s.wakeups = reg.Counter("sched_cpu_wakeups_total", l)
+	s.ledger = reg.Ledger()
+	s.entity = entity
+}
+
+// SetTaskOwner installs the task-name → script-name mapping used to charge
+// CPU wakeups to the script that caused them. The scheduler itself knows
+// nothing about task naming conventions; core installs one that strips its
+// "script-"/"timeout-" prefixes. Tasks that map to "" charge the device
+// entity (middleware overhead).
+func (s *Scheduler) SetTaskOwner(fn func(taskName string) string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.owner = fn
+}
+
+// chargeWakeup books one alarm-caused CPU wakeup: the device will stay awake
+// for at least a linger window on behalf of this task, so those milliseconds
+// are attributed to the task's owning script.
+func (s *Scheduler) chargeWakeup(name string) {
+	s.mu.Lock()
+	wakeups, ledger, entity, owner := s.wakeups, s.ledger, s.entity, s.owner
+	s.mu.Unlock()
+	wakeups.Inc()
+	if ledger == nil {
+		return
+	}
+	script := ""
+	if owner != nil {
+		script = owner(name)
+	}
+	ledger.Meter(entity, script, "").AddWake(s.dev.Linger().Milliseconds())
 }
 
 // New returns a scheduler. dev may be nil (collector mode).
@@ -94,7 +131,12 @@ func (s *Scheduler) After(delay time.Duration, name string, task func()) vclock.
 	}
 	var tm vclock.Timer
 	if s.dev != nil {
-		tm = s.dev.SetAlarm(delay, run)
+		tm = s.dev.SetAlarmInfo(delay, func(wokeCPU bool) {
+			if wokeCPU {
+				s.chargeWakeup(name)
+			}
+			run()
+		})
 	} else {
 		tm = s.clk.AfterFunc(delay, run)
 	}

@@ -1,6 +1,7 @@
 package script
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -91,6 +92,28 @@ type Stats struct {
 	Errors    int
 	Publishes int
 	Steps     int64 // interpreter steps consumed (a proxy for CPU time)
+	// DeadlineExceeded counts the calls killed by the execution budget —
+	// the paper's per-call deadline (§4.5). A subset of Errors.
+	DeadlineExceeded int
+}
+
+// IsBudgetError reports whether err is (or wraps) the execution-budget
+// violation the interpreter raises when a call exceeds its step budget.
+func IsBudgetError(err error) bool {
+	if errors.Is(err, ErrBudget) {
+		return true
+	}
+	var re *RuntimeError
+	return errors.As(err, &re) && re.Msg == ErrBudget.Error()
+}
+
+// noteErrLocked classifies a failed entry into script code. Caller holds
+// s.mu.
+func (s *Script) noteErrLocked(err error) {
+	s.stats.Errors++
+	if IsBudgetError(err) {
+		s.stats.DeadlineExceeded++
+	}
 }
 
 // New parses source and prepares (but does not run) the script.
@@ -154,13 +177,13 @@ func (s *Script) Start() error {
 	startBudget := in.steps
 	defer func() { s.stats.Steps += int64(startBudget - in.steps) }()
 	if err := in.exec(s.prog, s.globals); err != nil {
-		s.stats.Errors++
+		s.noteErrLocked(err)
 		return normalizeErr(s.Name, err)
 	}
 	if fn, ok := s.globals.lookup("start"); ok {
 		if _, isFn := fn.(*Function); isFn {
 			if _, err := in.invoke(nil, fn, Undefined, nil); err != nil {
-				s.stats.Errors++
+				s.noteErrLocked(err)
 				return normalizeErr(s.Name, err)
 			}
 		}
@@ -203,7 +226,7 @@ func (s *Script) Call(fnName string, args ...msg.Value) (msg.Value, error) {
 	out, err := in.invoke(nil, fn, Undefined, vals)
 	s.stats.Steps += int64(s.cfg.StepBudget - in.steps)
 	if err != nil {
-		s.stats.Errors++
+		s.noteErrLocked(err)
 		return nil, normalizeErr(s.Name, err)
 	}
 	return ToMsg(out)
@@ -222,7 +245,7 @@ func (s *Script) enter(fn Value, args []Value) {
 	_, err := in.invoke(nil, fn, Undefined, args)
 	s.stats.Steps += int64(s.cfg.StepBudget - in.steps)
 	if err != nil {
-		s.stats.Errors++
+		s.noteErrLocked(err)
 	}
 	host := s.host
 	s.mu.Unlock()

@@ -154,6 +154,10 @@ type EndpointConfig struct {
 	// trace events (labeled by the messenger's local id). Timestamps come
 	// from the endpoint's clock, so simulated runs trace deterministically.
 	Obs *obs.Registry
+	// Entity overrides the ledger device axis that this endpoint's bytes
+	// are charged to; defaults to the messenger's local id. Experiments use
+	// it to keep per-trial accounting apart in one registry.
+	Entity string
 }
 
 // endpointObs bundles the endpoint's instruments. With no registry attached
@@ -177,15 +181,30 @@ type endpointObs struct {
 	sendErrors     *obs.Counter
 	batchSize      *obs.Histogram
 	queueDelay     *obs.Histogram
+
+	// Ledger attribution. deviceMeter carries wire-level totals on the
+	// (entity, "", "") row — data envelopes uplink, everything received
+	// downlink — while per-channel rows carry payload-level bytes, so the
+	// device row is NOT the sum of the channel rows (framing and batching
+	// overhead lives only on the device row).
+	ledger      *obs.Ledger
+	entity      string
+	deviceMeter *obs.Meter
 }
 
-func newEndpointObs(reg *obs.Registry, node string) *endpointObs {
+func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
+	if entity == "" {
+		entity = node
+	}
 	if reg == nil {
-		return &endpointObs{node: node}
+		return &endpointObs{node: node, entity: entity}
 	}
 	l := obs.L("node", node)
 	return &endpointObs{
 		node:           node,
+		ledger:         reg.Ledger(),
+		entity:         entity,
+		deviceMeter:    reg.Meter(entity, "", ""),
 		tracer:         reg.Tracer(),
 		enqueued:       reg.Counter("transport_messages_enqueued_total", l),
 		sent:           reg.Counter("transport_messages_sent_total", l),
@@ -207,6 +226,20 @@ func newEndpointObs(reg *obs.Registry, node string) *endpointObs {
 
 func (o *endpointObs) record(at time.Time, channel string, stage obs.Stage, id uint64, detail string) {
 	o.tracer.Record(at, o.node, channel, stage, id, detail)
+}
+
+// chargeChannel books payload bytes on the (entity, "", channel) ledger row;
+// n < 0 charges downlink, n > 0 uplink.
+func (o *endpointObs) chargeChannel(channel string, n int64) {
+	if o.ledger == nil {
+		return
+	}
+	m := o.ledger.Meter(o.entity, "", channel)
+	if n < 0 {
+		m.AddDownlink(-n)
+	} else {
+		m.AddUplink(n)
+	}
 }
 
 // sendState tracks one inflight (sent, unacked) entry for retry backoff.
@@ -303,7 +336,7 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 		inflight: make(map[uint64]sendState),
 		nextSeq:  make(map[string]uint64),
 		dirty:    make(map[string]map[string]bool),
-		obs:      newEndpointObs(cfg.Obs, m.LocalID()),
+		obs:      newEndpointObs(cfg.Obs, m.LocalID(), cfg.Entity),
 	}
 	// Recover the per-channel sequence counters from the replayed outbox so
 	// post-reboot enqueues continue the FIFO where the last boot left it.
@@ -568,6 +601,10 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		e.obs.sent.Add(int64(len(entries)))
 		e.obs.retries.Add(int64(retries))
 		e.obs.bytesSent.Add(int64(len(wire)))
+		e.obs.deviceMeter.AddUplink(int64(len(wire)))
+		for _, entry := range entries {
+			e.obs.chargeChannel(entry.Channel, int64(len(entry.Payload)))
+		}
 		if len(entries) > 0 {
 			e.obs.batchSize.Observe(float64(len(entries)))
 		}
@@ -586,6 +623,7 @@ func (e *Endpoint) flush(retryOnly bool) int {
 func (e *Endpoint) receive(from string, payload []byte) {
 	e.notifyWire(0, int64(len(payload)))
 	e.obs.bytesRecv.Add(int64(len(payload)))
+	e.obs.deviceMeter.AddDownlink(int64(len(payload)))
 	body, err := unframe(payload)
 	if err != nil {
 		// Corrupted in flight: drop, the sender will retransmit.
@@ -692,6 +730,9 @@ func (e *Endpoint) receive(from string, payload []byte) {
 	e.mu.Unlock()
 	e.obs.duplicates.Add(int64(dups))
 	e.obs.received.Add(int64(len(deliver)))
+	for _, item := range deliver {
+		e.obs.chargeChannel(item.Channel, -int64(len(item.Body)))
+	}
 	if e.obs.tracer != nil {
 		at := e.clk.Now()
 		for _, item := range deliver {
