@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check chaos determinism fuzz-smoke stdout-guard
+.PHONY: build test bench check chaos determinism fleet fuzz-smoke stdout-guard
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ check: stdout-guard
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) determinism
+	$(MAKE) fleet
 
 # fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
 # run `go test -fuzz . -fuzztime 5m ./internal/xmpp` (or /msg) for a real
@@ -33,6 +34,21 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -v -run 'Chaos|Soak' ./internal/experiments ./internal/core
 	$(GO) run -race ./cmd/pogo-bench -run chaos -seed 1
+
+# fleet runs the sharded parallel fleet benchmark twice with the same seed
+# and requires the merged delivery logs to be byte-identical: the
+# epoch-barrier engine must make shard parallelism invisible to the
+# simulation. Each invocation additionally hard-fails if the log hash
+# varies across the shard-count sweep (1, 2, 4), and refreshes
+# BENCH_fleet.json. The engine/scenario regression tests run under -race
+# as part of `make test`/`make check` already.
+fleet:
+	@rm -f /tmp/pogo-fleet-a.log /tmp/pogo-fleet-b.log
+	$(GO) run ./cmd/pogo-bench -run fleet -seed 1 -fleet-log /tmp/pogo-fleet-a.log
+	$(GO) run ./cmd/pogo-bench -run fleet -seed 1 -fleet-log /tmp/pogo-fleet-b.log > /dev/null
+	@cmp /tmp/pogo-fleet-a.log /tmp/pogo-fleet-b.log \
+		&& echo "fleet: delivery logs byte-identical across same-seed runs" \
+		|| (echo "fleet: same-seed runs diverged"; exit 1)
 
 # determinism runs the seeded Table 3 benchmark twice and requires the
 # ledger accounting and simulated-time series exports to be byte-identical:

@@ -131,3 +131,20 @@ func BenchmarkAblationFreezeThaw(b *testing.B) {
 	}
 	b.ReportMetric(rows[1].MatchPct-rows[0].MatchPct, "match-improvement-pp")
 }
+
+// BenchmarkFleet runs the sharded parallel fleet scenario at bench scale
+// (200 phones — the full 2,000-phone sweep is `pogo-bench -run fleet`) and
+// reports simulated-event throughput. Run with -cpu 1,4 to see the
+// epoch-barrier engine scale with cores.
+func BenchmarkFleet(b *testing.B) {
+	shards := 4
+	var res experiments.FleetResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.FleetScenario(1, 200, shards)
+		res = experiments.Fleet(cfg)
+		if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
+			b.Fatalf("delivery guarantee violated: %+v", res)
+		}
+	}
+	b.ReportMetric(res.EventsPerSec, "sim-events/s")
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"pogo/internal/faultnet"
+	"pogo/internal/fleet"
+	"pogo/internal/msg"
+	"pogo/internal/obs"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+)
+
+// FleetConfig drives the parallel-fleet scenario: the chaos workload —
+// phones uploading to collectors through seeded fault injection, collectors
+// commanding phones back, the hardened transport recovering everything —
+// scaled to thousands of phones and executed across fleet.Engine shards.
+//
+// Determinism is shard-count-proof by construction: every entity draws its
+// faults from its own RNG seeded by (Seed, name), every payload crosses the
+// fabric with the same fixed latency whether or not sender and receiver
+// share a shard, and phone→collector assignment depends only on the phone
+// index. The per-seed delivery log is therefore byte-identical at any Shards
+// and any GOMAXPROCS — `make fleet` enforces exactly that.
+type FleetConfig struct {
+	Seed   int64
+	Phones int // default 2000
+	Shards int // default 4
+	// Collectors is the size of the collector cluster phones are hashed
+	// across. It must not default from Shards (that would change the
+	// workload's shape with the partitioning); default Phones/128, clamped
+	// to [1, 16].
+	Collectors       int
+	MessagesPerPhone int           // phone → collector uploads; default 20
+	CommandsPerPhone int           // collector → phone commands; default 3
+	Window           time.Duration // traffic injection window; default 5 min
+	Step             time.Duration // per-entity flush period; default 5 s
+
+	// Fault mix, per entity, drawn from per-entity seeded RNGs.
+	Drop      float64
+	Duplicate float64
+	Corrupt   float64
+	MaxDelay  time.Duration
+
+	// Latency is the fabric delivery latency and the engine's conservative
+	// lookahead (= epoch length). Default 100 ms.
+	Latency    time.Duration
+	RetryAfter time.Duration // endpoint retransmission base; default 15 s
+	DrainLimit time.Duration // extra simulated time to recover losses; default 15 min
+	Obs        *obs.Registry
+}
+
+// FleetScenario is the canonical benchmark mix for `pogo-bench -run fleet`:
+// light chaos-style faults over the given fleet size.
+func FleetScenario(seed int64, phones, shards int) FleetConfig {
+	return FleetConfig{
+		Seed:   seed,
+		Phones: phones,
+		Shards: shards,
+		Drop:   0.05, Duplicate: 0.02, Corrupt: 0.01,
+		MaxDelay: 50 * time.Millisecond,
+	}
+}
+
+// FleetResult reports one fleet run. Lost/Duplicated/OutOfOrder must be zero
+// — the delivery guarantee is unchanged from the chaos suite — and LogSHA256
+// must be identical across shard counts and GOMAXPROCS for a given seed.
+type FleetResult struct {
+	Seed             int64    `json:"seed"`
+	Phones           int      `json:"phones"`
+	Collectors       int      `json:"collectors"`
+	Shards           int      `json:"shards"`
+	Expected         int      `json:"expected_deliveries"`
+	Delivered        int      `json:"delivered"`
+	Lost             int      `json:"lost"`
+	Duplicated       int      `json:"duplicated"`
+	OutOfOrder       int      `json:"out_of_order"`
+	Undrained        int      `json:"undrained"`
+	Epochs           int      `json:"epochs"`
+	Events           int64    `json:"events"`
+	FabricMessages   int64    `json:"fabric_messages"`
+	CrossShard       int64    `json:"cross_shard_messages"`
+	SimSeconds       float64  `json:"sim_seconds"`
+	WallSeconds      float64  `json:"wall_seconds"`
+	EventsPerSec     float64  `json:"events_per_wall_second"`
+	DeliveriesPerSec float64  `json:"deliveries_per_wall_second"`
+	LogSHA256        string   `json:"log_sha256"`
+	Log              []string `json:"-"`
+}
+
+// fleetEntry is one application-level delivery, recorded on the receiver's
+// shard and merged into the global log by content afterwards.
+type fleetEntry struct {
+	at               time.Time
+	receiver, sender string
+	channel          string
+	n                int
+}
+
+func fleetPhoneName(i int) string     { return fmt.Sprintf("phone%04d", i) }
+func fleetCollectorName(i int) string { return fmt.Sprintf("collector%02d", i) }
+
+// fleetEntitySeed derives a per-entity RNG seed from the world seed, so an
+// entity's fault schedule depends only on its own name and traffic — never
+// on which shard it landed in or who shares that shard.
+func fleetEntitySeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// fleetCollectorOf assigns phone i to a collector by hashing its name:
+// shard-count-invariant (it never sees Shards) yet decorrelated from the
+// round-robin shard placement, so most phone↔collector pairs genuinely cross
+// shards.
+func fleetCollectorOf(i, collectors int) int {
+	h := fnv.New64a()
+	h.Write([]byte(fleetPhoneName(i)))
+	return int(h.Sum64() % uint64(collectors))
+}
+
+// Fleet runs the sharded parallel fleet scenario. See FleetConfig for the
+// knobs; zero-valued fields take the documented defaults.
+func Fleet(cfg FleetConfig) FleetResult {
+	if cfg.Phones == 0 {
+		cfg.Phones = 2000
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Collectors == 0 {
+		cfg.Collectors = cfg.Phones / 128
+		if cfg.Collectors < 1 {
+			cfg.Collectors = 1
+		}
+		if cfg.Collectors > 16 {
+			cfg.Collectors = 16
+		}
+	}
+	if cfg.MessagesPerPhone == 0 {
+		cfg.MessagesPerPhone = 20
+	}
+	if cfg.CommandsPerPhone == 0 {
+		cfg.CommandsPerPhone = 3
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 5 * time.Second
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 100 * time.Millisecond
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = 15 * time.Second
+	}
+	if cfg.DrainLimit == 0 {
+		cfg.DrainLimit = 15 * time.Minute
+	}
+
+	eng := fleet.NewEngine(fleet.Config{
+		Shards:    cfg.Shards,
+		Lookahead: cfg.Latency,
+		Obs:       cfg.Obs,
+	})
+	start := eng.Shard(0).Clock().Now()
+	logs := make([][]fleetEntry, eng.Shards())
+	var endpoints []*transport.Endpoint
+
+	// record returns a delivery handler appending to the receiver shard's
+	// local log — shard workers never touch each other's slices.
+	record := func(shard int, receiver string) func(from, channel string, payload msg.Value) {
+		clk := eng.Shard(shard).Clock()
+		return func(from, channel string, payload msg.Value) {
+			n := -1
+			if m, ok := payload.(msg.Map); ok {
+				if f, ok := m["n"].(float64); ok {
+					n = int(f)
+				}
+			}
+			logs[shard] = append(logs[shard], fleetEntry{
+				at: clk.Now(), receiver: receiver, sender: from, channel: channel, n: n,
+			})
+		}
+	}
+
+	// build wires one entity: port → per-entity seeded fault wrapper →
+	// reliable endpoint, plus its periodic flush tick and end-of-window calm.
+	build := func(shard int, name string, tickPhase time.Duration) *transport.Endpoint {
+		sh := eng.Shard(shard)
+		net := faultnet.New(sh.Clock(), faultnet.Config{
+			Seed: fleetEntitySeed(cfg.Seed, name),
+			Drop: cfg.Drop, Duplicate: cfg.Duplicate, Corrupt: cfg.Corrupt,
+			MaxDelay: cfg.MaxDelay,
+			Obs:      cfg.Obs,
+		})
+		f := net.Wrap(sh.Port(name))
+		ep := transport.NewEndpoint(f, store.OpenMemory(), sh.Clock(), transport.EndpointConfig{
+			RetryAfter: cfg.RetryAfter, BootID: "fleet-" + name, Obs: cfg.Obs,
+		})
+		ep.OnMessage(record(shard, name))
+		var tick func()
+		tick = func() {
+			sh.Clock().AfterFunc(cfg.Step, tick)
+			ep.Flush()
+		}
+		sh.Clock().AfterFunc(tickPhase, tick)
+		sh.Clock().AfterFunc(cfg.Window, net.Calm)
+		endpoints = append(endpoints, ep)
+		return ep
+	}
+
+	collectors := make([]*transport.Endpoint, cfg.Collectors)
+	for c := 0; c < cfg.Collectors; c++ {
+		collectors[c] = build(c%cfg.Shards, fleetCollectorName(c),
+			cfg.Step*time.Duration(1+c%16)/16)
+	}
+	msgGap := cfg.Window / time.Duration(cfg.MessagesPerPhone)
+	cmdGap := cfg.Window / time.Duration(cfg.CommandsPerPhone)
+	for i := 0; i < cfg.Phones; i++ {
+		name := fleetPhoneName(i)
+		shard := i % cfg.Shards
+		ci := fleetCollectorOf(i, cfg.Collectors)
+		coll := fleetCollectorName(ci)
+		ep := build(shard, name, cfg.Step*time.Duration(1+i%64)/64)
+		clk := eng.Shard(shard).Clock()
+		// Stagger each phone inside the per-message slot by a hash of its
+		// index — same spread at any shard count.
+		phase := time.Duration(int64(i)*7919%997) * msgGap / 997
+		for j := 0; j < cfg.MessagesPerPhone; j++ {
+			j := j
+			clk.AfterFunc(msgGap*time.Duration(j)+phase, func() {
+				ep.Enqueue(coll, "upload", msg.Map{"n": float64(j)})
+			})
+		}
+		cep := collectors[ci]
+		cclk := eng.Shard(ci % cfg.Shards).Clock()
+		cphase := time.Duration(int64(i)*104729%997) * cmdGap / 997
+		for j := 0; j < cfg.CommandsPerPhone; j++ {
+			j := j
+			cclk.AfterFunc(cmdGap*time.Duration(j)+cphase, func() {
+				cep.Enqueue(name, "cmd", msg.Map{"n": float64(j)})
+			})
+		}
+	}
+
+	expected := cfg.Phones * (cfg.MessagesPerPhone + cfg.CommandsPerPhone)
+	wall0 := time.Now()
+	stats := eng.Run(cfg.Window+cfg.DrainLimit, func(now time.Time) bool {
+		delivered := 0
+		for _, l := range logs {
+			delivered += len(l)
+		}
+		if delivered < expected {
+			return false
+		}
+		for _, ep := range endpoints {
+			if ep.Pending() > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	wall := time.Since(wall0)
+
+	undrained := 0
+	for _, ep := range endpoints {
+		undrained += ep.Pending()
+	}
+	var entries []fleetEntry
+	for _, l := range logs {
+		entries = append(entries, l...)
+	}
+	// Audit on arrival order (each receiver's stream arrives on one shard, so
+	// concatenation preserves per-stream FIFO order) before the content sort
+	// below erases it.
+	lost, dup, ooo := auditFleetLog(entries, cfg)
+	// Content sort: time, then receiver/sender/channel/payload. The delivery
+	// path guarantees exactly-once per stream, so the key is unique and the
+	// resulting log is independent of shard layout and scheduling.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		if a.receiver != b.receiver {
+			return a.receiver < b.receiver
+		}
+		if a.sender != b.sender {
+			return a.sender < b.sender
+		}
+		if a.channel != b.channel {
+			return a.channel < b.channel
+		}
+		return a.n < b.n
+	})
+	log := make([]string, len(entries))
+	for i, en := range entries {
+		log[i] = fmt.Sprintf("t=%d %s <- %s %s %d",
+			en.at.Sub(start)/time.Millisecond, en.receiver, en.sender, en.channel, en.n)
+	}
+
+	res := FleetResult{
+		Seed: cfg.Seed, Phones: cfg.Phones, Collectors: cfg.Collectors,
+		Shards: cfg.Shards, Expected: expected, Delivered: len(entries),
+		Undrained: undrained,
+		Epochs:    stats.Epochs, Events: stats.Events,
+		FabricMessages: stats.Fabric, CrossShard: stats.CrossShard,
+		Log: log,
+	}
+	res.Lost, res.Duplicated, res.OutOfOrder = lost, dup, ooo
+	res.SimSeconds = eng.Shard(0).Clock().Now().Sub(start).Seconds()
+	res.WallSeconds = wall.Seconds()
+	if res.WallSeconds > 0 {
+		res.EventsPerSec = float64(stats.Events) / res.WallSeconds
+		res.DeliveriesPerSec = float64(res.Delivered) / res.WallSeconds
+	}
+	sum := sha256.Sum256([]byte(strings.Join(log, "\n")))
+	res.LogSHA256 = hex.EncodeToString(sum[:])
+	return res
+}
+
+// auditFleetLog checks every (receiver, sender, channel) stream for
+// exactly-once FIFO delivery of 0..n-1, mirroring the chaos audit.
+func auditFleetLog(entries []fleetEntry, cfg FleetConfig) (lost, dup, ooo int) {
+	type stream struct{ receiver, sender, channel string }
+	got := make(map[stream][]int)
+	order := make(map[stream][]int) // arrival order, pre-sort is lost; rebuild per at
+	for _, en := range entries {
+		k := stream{en.receiver, en.sender, en.channel}
+		got[k] = append(got[k], en.n)
+		order[k] = append(order[k], en.n)
+	}
+	audit := func(k stream, want int) {
+		counts := make(map[int]int)
+		for _, n := range got[k] {
+			counts[n]++
+		}
+		for n := 0; n < want; n++ {
+			switch c := counts[n]; {
+			case c == 0:
+				lost++
+			case c > 1:
+				dup += c - 1
+			}
+		}
+		if !sort.IntsAreSorted(order[k]) {
+			ooo++
+		}
+	}
+	for i := 0; i < cfg.Phones; i++ {
+		phone := fleetPhoneName(i)
+		coll := fleetCollectorName(fleetCollectorOf(i, cfg.Collectors))
+		audit(stream{coll, phone, "upload"}, cfg.MessagesPerPhone)
+		audit(stream{phone, coll, "cmd"}, cfg.CommandsPerPhone)
+	}
+	return lost, dup, ooo
+}

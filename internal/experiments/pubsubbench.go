@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync/atomic"
 	"time"
 
 	"pogo/internal/msg"
@@ -22,11 +23,14 @@ type PubsubBenchResult struct {
 // active subscriptions and measures wall-clock broker throughput. Delivery
 // is synchronous on the publisher's goroutine, so the measurement is the
 // full fanout cost including each subscriber's defensive payload clone.
+// The delivery counter is atomic: handlers run on whichever goroutine calls
+// Publish, and under the parallel fleet engine that can be several shard
+// workers sharing one broker.
 func PubsubBench(subscribers, publishes int) PubsubBenchResult {
 	br := pubsub.New()
-	var delivered int64
+	var delivered atomic.Int64
 	for i := 0; i < subscribers; i++ {
-		br.Subscribe("bench", nil, func(pubsub.Event) { delivered++ })
+		br.Subscribe("bench", nil, func(pubsub.Event) { delivered.Add(1) })
 	}
 	payload := msg.Map{"voltage": 4.1, "level": 0.9, "timestamp": 1.0}
 
@@ -39,13 +43,13 @@ func PubsubBench(subscribers, publishes int) PubsubBenchResult {
 	res := PubsubBenchResult{
 		Subscribers: subscribers,
 		Publishes:   publishes,
-		Deliveries:  delivered,
+		Deliveries:  delivered.Load(),
 	}
 	if publishes > 0 {
 		res.NsPerPublish = float64(elapsed.Nanoseconds()) / float64(publishes)
 	}
 	if elapsed > 0 {
-		res.DeliveriesPerSecond = float64(delivered) / elapsed.Seconds()
+		res.DeliveriesPerSecond = float64(delivered.Load()) / elapsed.Seconds()
 	}
 	return res
 }

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pogo/internal/msg"
+	"pogo/internal/pubsub"
+)
+
+// TestPubsubBenchCounts is the basic contract: every publish reaches every
+// subscriber exactly once.
+func TestPubsubBenchCounts(t *testing.T) {
+	res := PubsubBench(7, 11)
+	if res.Deliveries != 7*11 {
+		t.Errorf("deliveries = %d, want %d", res.Deliveries, 7*11)
+	}
+	if res.Subscribers != 7 || res.Publishes != 11 {
+		t.Errorf("result echo = %d/%d, want 7/11", res.Subscribers, res.Publishes)
+	}
+}
+
+// TestPubsubConcurrentPublish is the regression for the bench's delivery
+// counter: handlers run on whichever goroutine calls Publish, so a broker
+// shared across parallel fleet shards fans out from several goroutines at
+// once. The counter must be atomic — `make check` runs this under -race,
+// which fails on the old plain-int64 increment.
+func TestPubsubConcurrentPublish(t *testing.T) {
+	const publishers, perPublisher, subscribers = 8, 200, 5
+	br := pubsub.New()
+	var delivered atomic.Int64
+	for i := 0; i < subscribers; i++ {
+		br.Subscribe("bench", nil, func(pubsub.Event) { delivered.Add(1) })
+	}
+	payload := msg.Map{"n": 1.0}
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				br.Publish("bench", payload)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(publishers * perPublisher * subscribers); delivered.Load() != want {
+		t.Errorf("deliveries = %d, want %d", delivered.Load(), want)
+	}
+}

@@ -3,10 +3,12 @@
 // simulated time (tests and the paper's experiments, which cover hours to
 // weeks of virtual time).
 //
-// Every component below internal/core takes a Clock. The simulated clock is
-// single-threaded by design: callbacks fired by Advance/Run run on the
-// calling goroutine in strict timestamp order, which makes experiment runs
-// reproducible bit-for-bit.
+// Every component below internal/core takes a Clock. Each simulated clock is
+// a single event loop: callbacks fired by Advance/Run run on the calling
+// goroutine in strict timestamp order, which makes experiment runs
+// reproducible bit-for-bit. Parallelism comes from running *several* Sims —
+// one per fleet shard — in lockstep time epochs (see internal/fleet), not
+// from sharing one Sim across goroutines.
 package vclock
 
 import (
@@ -138,13 +140,18 @@ func (s *Sim) Step() bool {
 
 // Run drains the event queue completely, with a safety cap on the number of
 // callbacks to avoid runaway self-rescheduling loops. It returns the number
-// of callbacks run.
-func (s *Sim) Run(maxEvents int) int {
-	ran := 0
-	for ran < maxEvents && s.Step() {
+// of callbacks run and whether the queue actually drained: drained == false
+// means the cap cut the simulation short with events still pending, which
+// callers must treat as an error rather than a completed run.
+func (s *Sim) Run(maxEvents int) (ran int, drained bool) {
+	for ran < maxEvents {
+		if !s.Step() {
+			return ran, true
+		}
 		ran++
 	}
-	return ran
+	_, pending := s.NextEventAt()
+	return ran, !pending
 }
 
 // Pending returns the number of scheduled, uncancelled callbacks.
@@ -190,6 +197,10 @@ func (s *Sim) popDue(deadline time.Time) (func(), bool) {
 			return nil, false
 		}
 		heap.Pop(&s.queue)
+		// Mark before releasing the lock: once the event leaves the heap its
+		// callback is committed to run, so a concurrent (or later) Stop must
+		// report false rather than claim it prevented anything.
+		ev.fired = true
 		if ev.at.After(s.now) {
 			s.now = ev.at
 		}
@@ -203,6 +214,7 @@ type event struct {
 	seq     uint64
 	fn      func()
 	stopped bool
+	fired   bool // left the heap for execution; Stop can no longer prevent it
 	index   int
 }
 
@@ -214,7 +226,7 @@ type simTimer struct {
 func (t *simTimer) Stop() bool {
 	t.sim.mu.Lock()
 	defer t.sim.mu.Unlock()
-	if t.ev.stopped {
+	if t.ev.stopped || t.ev.fired {
 		return false
 	}
 	t.ev.stopped = true

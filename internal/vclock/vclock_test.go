@@ -132,9 +132,75 @@ func TestSimRunCap(t *testing.T) {
 		s.AfterFunc(time.Millisecond, loop)
 	}
 	s.AfterFunc(time.Millisecond, loop)
-	ran := s.Run(100)
+	ran, drained := s.Run(100)
 	if ran != 100 || n != 100 {
 		t.Errorf("Run = %d, n = %d, want 100", ran, n)
+	}
+	if drained {
+		t.Error("Run reported drained despite hitting the cap with the loop still scheduled")
+	}
+}
+
+// TestSimRunReportsDrained locks in the fix for the silent-cap bug: a run
+// that exhausts the queue reports drained=true, a run cut short by the cap
+// reports drained=false, and a run whose last allowed callback empties the
+// queue still counts as drained.
+func TestSimRunReportsDrained(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 5; i++ {
+		s.AfterFunc(time.Duration(i)*time.Second, func() {})
+	}
+	if ran, drained := s.Run(3); ran != 3 || drained {
+		t.Errorf("capped: Run = %d, %v; want 3, false", ran, drained)
+	}
+	if ran, drained := s.Run(100); ran != 2 || !drained {
+		t.Errorf("drain: Run = %d, %v; want 2, true", ran, drained)
+	}
+	s.AfterFunc(time.Second, func() {})
+	if ran, drained := s.Run(1); ran != 1 || !drained {
+		t.Errorf("exact: Run = %d, %v; want 1, true", ran, drained)
+	}
+	if ran, drained := s.Run(10); ran != 0 || !drained {
+		t.Errorf("empty: Run = %d, %v; want 0, true", ran, drained)
+	}
+}
+
+// TestStopAfterFireReturnsFalse locks in the Timer.Stop contract: once the
+// callback has run (or is committed to run), Stop must report false. Before
+// the fix popDue removed the event from the heap without marking it, so a
+// later Stop saw stopped == false and claimed it prevented a run that had
+// already happened.
+func TestStopAfterFireReturnsFalse(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.AfterFunc(time.Second, func() { fired = true })
+	s.Advance(2 * time.Second)
+	if !fired {
+		t.Fatal("setup: callback did not run")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire = true; it cannot have prevented the run")
+	}
+	if tm.Stop() {
+		t.Error("second Stop after fire = true")
+	}
+
+	// Stop from inside the callback itself: the event is already committed.
+	var self Timer
+	selfStop := true
+	self = s.AfterFunc(time.Second, func() { selfStop = self.Stop() })
+	s.Advance(2 * time.Second)
+	if selfStop {
+		t.Error("Stop from within the firing callback = true")
+	}
+
+	// The pre-fire path still reports true exactly once.
+	tm2 := s.AfterFunc(time.Hour, func() {})
+	if !tm2.Stop() {
+		t.Error("Stop before fire = false")
+	}
+	if tm2.Stop() {
+		t.Error("second Stop before fire = true")
 	}
 }
 
