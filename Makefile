@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check chaos determinism fleet fuzz-smoke stdout-guard
+.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke stdout-guard
 
 build:
 	$(GO) build ./...
@@ -11,22 +11,36 @@ test:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
+# bench-gate reruns the hot-path microbenchmarks (broker fanout, msg codecs,
+# transport round trip) and compares them against the checked-in
+# BENCH_hotpath.json: B/op or allocs/op more than 15% worse than the baseline
+# fails the build (allocation counts are machine-independent, so a real
+# increase is a code regression); ns/op deltas are printed but advisory.
+# After an intentional change, refresh the baseline with
+# `go run ./cmd/pogo-bench -run hotpath` and commit the new JSON.
+bench-gate:
+	$(GO) run ./cmd/pogo-bench -run hotpath -gate
+
 # check is the tier-1 gate: vet, the full test suite under the race
-# detector, the library-stdout guard, and a short fuzz smoke of the two
-# wire-facing parsers.
+# detector, the library-stdout guard, a short fuzz smoke of the wire-facing
+# parsers, the determinism diffs, and the allocation regression gate.
 check: stdout-guard
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) determinism
 	$(MAKE) fleet
+	$(MAKE) bench-gate
 
 # fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
-# run `go test -fuzz . -fuzztime 5m ./internal/xmpp` (or /msg) for a real
-# session.
+# run e.g. `go test -fuzz FuzzDecode -fuzztime 5m ./internal/msg` for a real
+# session. internal/msg has several fuzz targets, and `go test -fuzz` only
+# accepts a pattern matching exactly one, so each is named explicitly.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/xmpp
-	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/msg
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/msg
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeVsStdlib$$' -fuzztime 10s ./internal/msg
+	$(GO) test -run '^$$' -fuzz 'FuzzBinaryRoundTrip$$' -fuzztime 10s ./internal/msg
 
 # chaos replays the seeded fault-injection scenario matrix (drop, duplicate,
 # corrupt, delay, partition, churn at three fault levels) under the race

@@ -18,6 +18,7 @@ import (
 )
 
 func BenchmarkTable2ProgramComplexity(b *testing.B) {
+	b.ReportAllocs()
 	var total int
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2()
@@ -33,6 +34,7 @@ func BenchmarkTable2ProgramComplexity(b *testing.B) {
 }
 
 func BenchmarkTable3PowerConsumption(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Table3Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Table3()
@@ -43,6 +45,7 @@ func BenchmarkTable3PowerConsumption(b *testing.B) {
 }
 
 func BenchmarkTable4Localization(b *testing.B) {
+	b.ReportAllocs()
 	days := 3
 	dur := time.Duration(days) * 24 * time.Hour
 	sessions := []experiments.SessionConfig{
@@ -67,6 +70,7 @@ func BenchmarkTable4Localization(b *testing.B) {
 }
 
 func BenchmarkFigure3TailTrace(b *testing.B) {
+	b.ReportAllocs()
 	var f experiments.Figure3Result
 	for i := 0; i < b.N; i++ {
 		f = experiments.Figure3(radio.KPN)
@@ -76,6 +80,7 @@ func BenchmarkFigure3TailTrace(b *testing.B) {
 }
 
 func BenchmarkFigure4TailSyncTimeline(b *testing.B) {
+	b.ReportAllocs()
 	var f experiments.Figure4Result
 	for i := 0; i < b.N; i++ {
 		f = experiments.Figure4(16 * time.Minute)
@@ -90,6 +95,7 @@ func BenchmarkFigure4TailSyncTimeline(b *testing.B) {
 }
 
 func BenchmarkAblationFlushPolicies(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.FlushPolicyRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.AblationFlushPolicies()
@@ -105,6 +111,7 @@ func BenchmarkAblationFlushPolicies(b *testing.B) {
 }
 
 func BenchmarkAblationDetectorPolling(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.DetectorPollingRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.AblationDetectorPolling()
@@ -113,6 +120,7 @@ func BenchmarkAblationDetectorPolling(b *testing.B) {
 }
 
 func BenchmarkAblationSensorGating(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.SensorGatingRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.AblationSensorGating()
@@ -121,6 +129,7 @@ func BenchmarkAblationSensorGating(b *testing.B) {
 }
 
 func BenchmarkAblationFreezeThaw(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.FreezeThawRow
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationFreezeThaw(2)
@@ -137,6 +146,7 @@ func BenchmarkAblationFreezeThaw(b *testing.B) {
 // reports simulated-event throughput. Run with -cpu 1,4 to see the
 // epoch-barrier engine scale with cores.
 func BenchmarkFleet(b *testing.B) {
+	b.ReportAllocs()
 	shards := 4
 	var res experiments.FleetResult
 	for i := 0; i < b.N; i++ {

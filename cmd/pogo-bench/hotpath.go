@@ -1,0 +1,287 @@
+package main
+
+// The hot-path microbenchmark suite and its regression gate. `pogo-bench
+// -run hotpath` measures the zero-copy message path — broker fanout, the
+// msg codecs, and a full transport round trip — with testing.Benchmark and
+// records ns/op, B/op, allocs/op to BENCH_hotpath.json. With -gate it
+// instead compares a fresh run against the checked-in baseline and fails on
+// regressions (see gateHotpath for the thresholds and their rationale).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pogo/internal/msg"
+	"pogo/internal/pubsub"
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+const hotpathFileName = "BENCH_hotpath.json"
+
+// hotpathResult is one benchmark row of BENCH_hotpath.json.
+type hotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type hotpathFile struct {
+	Note    string          `json:"note"`
+	Results []hotpathResult `json:"results"`
+}
+
+// hotpathPayload is a representative sensor reading: what a phone's battery
+// or wifi script publishes every few seconds.
+func hotpathPayload() msg.Map {
+	return msg.Map{
+		"voltage":   4.1,
+		"level":     0.93,
+		"plugged":   false,
+		"timestamp": 1.7e12,
+		"aps": []msg.Value{
+			msg.Map{"bssid": "02:1b:77:49:54:fd", "rssi": -61.0},
+			msg.Map{"bssid": "02:1b:77:1f:02:aa", "rssi": -74.0},
+		},
+	}
+}
+
+// hotpathBenchmarks returns the suite in display order. Each entry is a
+// standard testing benchmark body; allocations are always reported.
+func hotpathBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"publish_fanout_1k", func(b *testing.B) {
+			br := pubsub.New()
+			for i := 0; i < 1000; i++ {
+				br.Subscribe("bench", nil, func(pubsub.Event) {})
+			}
+			payload := hotpathPayload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.Publish("bench", payload)
+			}
+		}},
+		{"publish_fanout_1k_prefrozen", func(b *testing.B) {
+			br := pubsub.New()
+			for i := 0; i < 1000; i++ {
+				br.Subscribe("bench", nil, func(pubsub.Event) {})
+			}
+			payload := msg.Freeze(hotpathPayload())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.Publish("bench", payload)
+			}
+		}},
+		{"msg_encode_binary", func(b *testing.B) {
+			payload := hotpathPayload()
+			var buf []byte
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if buf, err = msg.AppendBinary(buf[:0], payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"msg_decode_binary", func(b *testing.B) {
+			wire, err := msg.AppendBinary(nil, hotpathPayload())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := msg.DecodeBinary(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"msg_encode_json", func(b *testing.B) {
+			payload := hotpathPayload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := msg.EncodeJSON(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"msg_decode_json", func(b *testing.B) {
+			wire, err := msg.EncodeJSON(hotpathPayload())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := msg.DecodeJSON(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"transport_roundtrip", func(b *testing.B) {
+			// Full reliable-delivery round trip on the simulated switchboard:
+			// enqueue → binary envelope → CRC frame → wire → decode →
+			// deduplicate → deliver → ack, all in simulated time.
+			clk := vclock.NewSim()
+			sw := transport.NewSwitchboard(clk)
+			sw.Associate("phone", "collector")
+			phone := transport.NewEndpoint(sw.Port("phone", nil), store.OpenMemory(), clk,
+				transport.EndpointConfig{BootID: "bench"})
+			collector := transport.NewEndpoint(sw.Port("collector", nil), store.OpenMemory(), clk,
+				transport.EndpointConfig{BootID: "bench"})
+			delivered := 0
+			collector.OnMessage(func(string, string, msg.Value) { delivered++ })
+			payload := hotpathPayload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := phone.Enqueue("collector", "bench", payload); err != nil {
+					b.Fatal(err)
+				}
+				phone.Flush()
+				clk.Advance(20 * time.Millisecond) // wire latency + ack
+			}
+			b.StopTimer()
+			if delivered != b.N {
+				b.Fatalf("delivered %d of %d", delivered, b.N)
+			}
+		}},
+	}
+}
+
+// runHotpath measures the suite and either records a new baseline or (gate)
+// compares against the checked-in one.
+func runHotpath(gate bool) error {
+	fresh := make([]hotpathResult, 0, 8)
+	for _, bench := range hotpathBenchmarks() {
+		r := testing.Benchmark(bench.fn)
+		res := hotpathResult{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fresh = append(fresh, res)
+		fmt.Printf("%-28s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	if gate {
+		return gateHotpath(fresh)
+	}
+	out := hotpathFile{
+		Note:    "hot-path baseline; `pogo-bench -run hotpath -gate` (make bench-gate) fails on >15% B/op or allocs/op regressions",
+		Results: fresh,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(hotpathFileName, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", hotpathFileName)
+	return nil
+}
+
+// gateThresholdPct is the regression budget: a fresh run may exceed the
+// baseline by up to 15% before the gate fails. B/op and allocs/op are hard
+// failures — allocation counts are a property of the code, not the machine,
+// so any real increase is a code regression. ns/op only warns: wall-clock
+// shifts with the host, so it is signal for a human, not for CI.
+const gateThresholdPct = 15.0
+
+// gateSlack absorbs quantization on tiny baselines: a change must exceed
+// both the percentage threshold and this absolute floor (2 allocs, 64 bytes)
+// to fail, so a 1→2 allocs/op jitter on a near-zero row does not break CI.
+const (
+	gateSlackAllocs = 2
+	gateSlackBytes  = 64
+)
+
+func gateHotpath(fresh []hotpathResult) error {
+	data, err := os.ReadFile(hotpathFileName)
+	if err != nil {
+		return fmt.Errorf("no baseline (%v); run `pogo-bench -run hotpath` and commit %s", err, hotpathFileName)
+	}
+	var base hotpathFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("corrupt baseline %s: %v", hotpathFileName, err)
+	}
+	baseline := make(map[string]hotpathResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+
+	pct := func(old, new float64) float64 {
+		if old == 0 {
+			if new == 0 {
+				return 0
+			}
+			return 100
+		}
+		return 100 * (new - old) / old
+	}
+	fmt.Printf("\nbench gate vs %s (fail: B/op or allocs/op worse by >%.0f%%; ns/op advisory)\n",
+		hotpathFileName, gateThresholdPct)
+	fmt.Printf("%-28s %14s %14s %14s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ")
+	failures := 0
+	for _, f := range fresh {
+		b, ok := baseline[f.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14s %14s  (new: no baseline)\n", f.Name, "-", "-", "-")
+			continue
+		}
+		dNs := pct(b.NsPerOp, f.NsPerOp)
+		dBytes := pct(float64(b.BytesPerOp), float64(f.BytesPerOp))
+		dAllocs := pct(float64(b.AllocsPerOp), float64(f.AllocsPerOp))
+		verdict := ""
+		if dBytes > gateThresholdPct && f.BytesPerOp-b.BytesPerOp > gateSlackBytes {
+			verdict = "FAIL B/op"
+			failures++
+		}
+		if dAllocs > gateThresholdPct && f.AllocsPerOp-b.AllocsPerOp > gateSlackAllocs {
+			if verdict != "" {
+				verdict += "+allocs"
+			} else {
+				verdict = "FAIL allocs/op"
+			}
+			failures++
+		}
+		if verdict == "" && dNs > gateThresholdPct {
+			verdict = "warn ns/op (advisory)"
+		}
+		fmt.Printf("%-28s %+13.1f%% %+13.1f%% %+13.1f%%  %s\n", f.Name, dNs, dBytes, dAllocs, verdict)
+	}
+	for name := range baseline {
+		found := false
+		for _, f := range fresh {
+			if f.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-28s  removed from suite but still in baseline\n", name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench gate: %d hard regression(s); if intended, regenerate the baseline with `pogo-bench -run hotpath`", failures)
+	}
+	fmt.Println("bench gate: PASS")
+	return nil
+}

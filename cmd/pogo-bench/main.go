@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,24 +29,54 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos / fleet (benchmarks, not part of all)")
-		days     = flag.Int("days", 24, "table4: experiment length in days")
-		seed     = flag.Int64("seed", 1, "table4 / chaos / fleet: world seed")
-		phones   = flag.Int("phones", 0, "chaos / fleet: testbed size (0 = per-benchmark default: 50 chaos, 2000 fleet)")
-		shards   = flag.Int("shards", 0, "fleet: highest shard count in the sweep (0 = up to 4, or NumCPU when larger)")
-		fleetLog = flag.String("fleet-log", "", "fleet: write the merged delivery log to this file (make fleet diffs two of these)")
-		freeze   = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
-		stats    = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
-		csvDir   = flag.String("csv", "", "write accounting.csv, timeseries.csv, and ledger-derived table3.csv/table4.csv into this directory")
+		run        = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos / fleet / hotpath (benchmarks, not part of all)")
+		days       = flag.Int("days", 24, "table4: experiment length in days")
+		seed       = flag.Int64("seed", 1, "table4 / chaos / fleet: world seed")
+		phones     = flag.Int("phones", 0, "chaos / fleet: testbed size (0 = per-benchmark default: 50 chaos, 2000 fleet)")
+		shards     = flag.Int("shards", 0, "fleet: highest shard count in the sweep (0 = up to 4, or NumCPU when larger)")
+		fleetLog   = flag.String("fleet-log", "", "fleet: write the merged delivery log to this file (make fleet diffs two of these)")
+		freeze     = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
+		stats      = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
+		csvDir     = flag.String("csv", "", "write accounting.csv, timeseries.csv, and ledger-derived table3.csv/table4.csv into this directory")
+		gate       = flag.Bool("gate", false, "hotpath: compare against the checked-in BENCH_hotpath.json instead of rewriting it; exit 1 on regression")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected run to this file")
 	)
 	flag.Parse()
-	if err := runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *freeze, *stats, *csvDir); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pogo-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pogo-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *freeze, *gate, *stats, *csvDir)
+	if *memProfile != "" {
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if f, ferr := os.Create(*memProfile); ferr != nil {
+			fmt.Fprintln(os.Stderr, "pogo-bench:", ferr)
+		} else {
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "pogo-bench:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-bench:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog string, freeze, stats bool, csvDir string) error {
+func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog string, freeze, gate, stats bool, csvDir string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 	reg := obs.NewRegistry()
@@ -59,6 +90,9 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 	if which == "fleet" {
 		return runFleet(seed, phones, shards, fleetLog)
 	}
+	if which == "hotpath" {
+		return runHotpath(gate)
+	}
 
 	if which == "pubsub" {
 		// Broker fanout microbenchmark: not part of "all" (it measures this
@@ -71,8 +105,9 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 		if err := os.WriteFile("BENCH_pubsub.json", append(b, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("pubsub fanout: %d subscribers x %d publishes: %.0f ns/publish, %.0f deliveries/s\n",
-			res.Subscribers, res.Publishes, res.NsPerPublish, res.DeliveriesPerSecond)
+		fmt.Printf("pubsub fanout: %d subscribers x %d publishes: %.0f ns/publish, %.0f deliveries/s, %.1f allocs/publish, %.0f B/publish\n",
+			res.Subscribers, res.Publishes, res.NsPerPublish, res.DeliveriesPerSecond,
+			res.AllocsPerPublish, res.BytesPerPublish)
 		fmt.Println("baseline written to BENCH_pubsub.json")
 		return nil
 	}
@@ -139,7 +174,7 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", which,
-			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub", "chaos", "fleet"}, "|"))
+			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub", "chaos", "fleet", "hotpath"}, "|"))
 	}
 	if stats {
 		fmt.Println("metrics registry:")

@@ -483,12 +483,15 @@ func (n *Node) handleMessage(from, channel string, payload msg.Value) {
 		id, _ := msg.GetNumber(body, "id")
 		ctx.removeProxy(from, int(id))
 	default:
-		// Application data: publish into the paired context with origin.
+		// Application data: publish into the paired context with origin. The
+		// body was decoded from the wire just for this call, so it can be
+		// frozen in place — the broker then shares it with every subscriber
+		// without taking its own defensive clone.
 		ctx := n.contextForInbound(from)
 		if ctx == nil {
 			return
 		}
-		ctx.broker.PublishFrom(channel, body, from)
+		ctx.broker.PublishFrom(channel, msg.FreezeOwned(body), from)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -90,8 +91,13 @@ type FleetResult struct {
 	WallSeconds      float64  `json:"wall_seconds"`
 	EventsPerSec     float64  `json:"events_per_wall_second"`
 	DeliveriesPerSec float64  `json:"deliveries_per_wall_second"`
-	LogSHA256        string   `json:"log_sha256"`
-	Log              []string `json:"-"`
+	// AllocsPerDelivery / BytesPerDelivery are runtime.MemStats deltas over
+	// the simulation run divided by delivered messages — machine-independent,
+	// so they are comparable across baselines in a way wall-clock is not.
+	AllocsPerDelivery float64  `json:"allocs_per_delivery"`
+	BytesPerDelivery  float64  `json:"bytes_per_delivery"`
+	LogSHA256         string   `json:"log_sha256"`
+	Log               []string `json:"-"`
 }
 
 // fleetEntry is one application-level delivery, recorded on the receiver's
@@ -252,6 +258,8 @@ func Fleet(cfg FleetConfig) FleetResult {
 	}
 
 	expected := cfg.Phones * (cfg.MessagesPerPhone + cfg.CommandsPerPhone)
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	wall0 := time.Now()
 	stats := eng.Run(cfg.Window+cfg.DrainLimit, func(now time.Time) bool {
 		delivered := 0
@@ -269,6 +277,7 @@ func Fleet(cfg FleetConfig) FleetResult {
 		return true
 	})
 	wall := time.Since(wall0)
+	runtime.ReadMemStats(&memAfter)
 
 	undrained := 0
 	for _, ep := range endpoints {
@@ -321,6 +330,10 @@ func Fleet(cfg FleetConfig) FleetResult {
 	if res.WallSeconds > 0 {
 		res.EventsPerSec = float64(stats.Events) / res.WallSeconds
 		res.DeliveriesPerSec = float64(res.Delivered) / res.WallSeconds
+	}
+	if res.Delivered > 0 {
+		res.AllocsPerDelivery = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Delivered)
+		res.BytesPerDelivery = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Delivered)
 	}
 	sum := sha256.Sum256([]byte(strings.Join(log, "\n")))
 	res.LogSHA256 = hex.EncodeToString(sum[:])

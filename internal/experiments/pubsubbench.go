@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -17,15 +18,21 @@ type PubsubBenchResult struct {
 	Deliveries          int64   `json:"deliveries"`
 	NsPerPublish        float64 `json:"ns_per_publish"`
 	DeliveriesPerSecond float64 `json:"deliveries_per_second"`
+	// AllocsPerPublish / BytesPerPublish are runtime.MemStats deltas over the
+	// timed loop. Unlike ns_per_publish they are machine-independent, which is
+	// why the bench gate treats them as the hard regression signal.
+	AllocsPerPublish float64 `json:"allocs_per_publish"`
+	BytesPerPublish  float64 `json:"bytes_per_publish"`
 }
 
 // PubsubBench publishes `publishes` messages to a channel with `subscribers`
 // active subscriptions and measures wall-clock broker throughput. Delivery
 // is synchronous on the publisher's goroutine, so the measurement is the
-// full fanout cost including each subscriber's defensive payload clone.
-// The delivery counter is atomic: handlers run on whichever goroutine calls
-// Publish, and under the parallel fleet engine that can be several shard
-// workers sharing one broker.
+// full fanout cost: one freeze clone per publish, then the same frozen tree
+// shared with every subscriber (copy-on-write replaces the old
+// clone-per-subscriber discipline). The delivery counter is atomic: handlers
+// run on whichever goroutine calls Publish, and under the parallel fleet
+// engine that can be several shard workers sharing one broker.
 func PubsubBench(subscribers, publishes int) PubsubBenchResult {
 	br := pubsub.New()
 	var delivered atomic.Int64
@@ -34,11 +41,14 @@ func PubsubBench(subscribers, publishes int) PubsubBenchResult {
 	}
 	payload := msg.Map{"voltage": 4.1, "level": 0.9, "timestamp": 1.0}
 
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < publishes; i++ {
 		br.Publish("bench", payload)
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 
 	res := PubsubBenchResult{
 		Subscribers: subscribers,
@@ -47,6 +57,8 @@ func PubsubBench(subscribers, publishes int) PubsubBenchResult {
 	}
 	if publishes > 0 {
 		res.NsPerPublish = float64(elapsed.Nanoseconds()) / float64(publishes)
+		res.AllocsPerPublish = float64(after.Mallocs-before.Mallocs) / float64(publishes)
+		res.BytesPerPublish = float64(after.TotalAlloc-before.TotalAlloc) / float64(publishes)
 	}
 	if elapsed > 0 {
 		res.DeliveriesPerSecond = float64(delivered.Load()) / elapsed.Seconds()

@@ -140,6 +140,7 @@ type Shard struct {
 	clk *vclock.Sim
 
 	staged    []fabricMsg // written by this shard's worker, drained at barriers
+	arena     []byte      // current payload slab; see copyPayload
 	events    int64
 	obsEvents *obs.Counter
 
@@ -193,6 +194,28 @@ func (p *Port) LocalID() string { return p.id }
 // partitions are modeled by faultnet wrappers above the port.
 func (p *Port) Online() bool { return true }
 
+// arenaSlab is the size of a shard's payload slab. Copies are carved out of
+// the current slab (one allocation per ~64 KiB of traffic instead of one per
+// Send); a full slab is simply abandoned to the GC, which keeps it alive for
+// exactly as long as any delivered payload still aliases it. Slabs are never
+// reused, so receivers may retain payloads indefinitely.
+const arenaSlab = 64 << 10
+
+// copyPayload copies p into the shard's arena. Full-capacity subslices stop
+// a receiver's append from bleeding into the next payload. Called only from
+// the owning shard, so no locking.
+func (s *Shard) copyPayload(p []byte) []byte {
+	if len(p) >= arenaSlab/4 {
+		return append([]byte(nil), p...) // oversized: give it its own allocation
+	}
+	if len(s.arena)+len(p) > cap(s.arena) {
+		s.arena = make([]byte, 0, arenaSlab)
+	}
+	off := len(s.arena)
+	s.arena = append(s.arena, p...)
+	return s.arena[off : off+len(p) : off+len(p)]
+}
+
 // Send implements Messenger: the payload is copied and staged for delivery
 // at now + Lookahead, the fabric's uniform latency. Locality is intentionally
 // invisible — a same-shard destination pays the same latency and traverses
@@ -205,7 +228,7 @@ func (p *Port) Send(to string, payload []byte) error {
 		from:    p.id,
 		to:      to,
 		seq:     p.seq,
-		payload: append([]byte(nil), payload...),
+		payload: s.copyPayload(payload),
 	}
 	p.seq++
 	s.staged = append(s.staged, m)

@@ -1,0 +1,306 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"unicode/utf8"
+)
+
+// Compact binary message codec: the wire format for the transport and fleet
+// fabric. JSON remains the interchange format for everything human-facing
+// (/metrics.json, CSV export, logs) and for fuzz cross-checks; the two codecs
+// are value-equivalent by construction — both coerce NaN/±Inf to null and
+// both treat integral floats |x| < 1e15 as integers — so switching the wire
+// codec cannot change what a subscriber observes.
+//
+// Layout: one tag byte per value, varint lengths, no padding.
+//
+//	tag 0x00  null
+//	tag 0x01  false
+//	tag 0x02  true
+//	tag 0x03  float64     8 bytes IEEE 754, big-endian
+//	tag 0x04  integer     zigzag varint (integral floats, |x| < 1e15)
+//	tag 0x05  string      uvarint byte length + UTF-8 bytes
+//	tag 0x06  array       uvarint count + count values
+//	tag 0x07  map         uvarint count + count × (uvarint key len + key bytes + value),
+//	                      keys sorted lexicographically (deterministic bytes)
+//
+// The first byte of any binary value is ≤ 0x07, which can never begin valid
+// JSON (whitespace, '{', '[', '"', digits, '-', 't', 'f', 'n' are all
+// ≥ 0x09) — Decode exploits that to sniff the codec.
+//
+// Decoding is zero-copy over the input buffer except for retained strings
+// (map keys and string values must outlive the frame, so they are copied
+// out); structure (slices, maps) is allocated, scalars are not. Hostile
+// input cannot over-allocate: every claimed length and count is bounded by
+// the bytes actually remaining in the buffer before anything is allocated,
+// and nesting depth shares maxJSONDepth with the JSON decoder.
+
+const (
+	tagNull   = 0x00
+	tagFalse  = 0x01
+	tagTrue   = 0x02
+	tagFloat  = 0x03
+	tagInt    = 0x04
+	tagString = 0x05
+	tagArray  = 0x06
+	tagMap    = 0x07
+)
+
+// binaryMaxTag is the highest tag byte; Decode uses it to sniff binary
+// input from JSON.
+const binaryMaxTag = tagMap
+
+// ErrBinary reports malformed binary codec input.
+var ErrBinary = errors.New("msg: binary decode")
+
+// encBufPool recycles encode buffers so steady-state encoding is
+// allocation-free. Buffers are returned by EncodeBinary before copying out;
+// external callers that want pooling should use AppendBinary with their own
+// buffer discipline (the transport does).
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// EncodeBinary serializes a message value to the binary codec. The returned
+// slice is freshly allocated and owned by the caller; hot paths that reuse
+// buffers should call AppendBinary instead.
+func EncodeBinary(v Value) ([]byte, error) {
+	bp := encBufPool.Get().(*[]byte)
+	buf, err := AppendBinary((*bp)[:0], v)
+	if err != nil {
+		*bp = buf[:0]
+		encBufPool.Put(bp)
+		return nil, err
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	*bp = buf[:0]
+	encBufPool.Put(bp)
+	return out, nil
+}
+
+// AppendBinary appends the binary encoding of v to dst and returns the
+// extended slice. This is the allocation-free primitive under EncodeBinary:
+// with a pre-sized dst it performs no heap allocation for scalar payloads
+// and only the sorted-key scratch for maps.
+func AppendBinary(dst []byte, v Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNull), nil
+	case bool:
+		if x {
+			return append(dst, tagTrue), nil
+		}
+		return append(dst, tagFalse), nil
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// Mirror the JSON encoder: JSON has no NaN/Inf, so both codecs
+			// agree the value is null.
+			return append(dst, tagNull), nil
+		}
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			dst = append(dst, tagInt)
+			return binary.AppendVarint(dst, int64(x)), nil
+		}
+		dst = append(dst, tagFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case string:
+		dst = append(dst, tagString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case []Value:
+		dst = append(dst, tagArray)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if dst, err = AppendBinary(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case Map:
+		dst = append(dst, tagMap)
+		dst = binary.AppendUvarint(dst, uint64(Len(x)))
+		// Sorted-key scratch comes from a pool and is held until the
+		// iteration finishes — nested maps Get their own scratch because
+		// this one isn't Put back yet.
+		sp := keysPool.Get().(*[]string)
+		keys := (*sp)[:0]
+		for k, e := range x {
+			if isMarker(k, e) {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var err error
+		for _, k := range keys {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
+			if dst, err = AppendBinary(dst, x[k]); err != nil {
+				*sp = keys[:0]
+				keysPool.Put(sp)
+				return nil, err
+			}
+		}
+		*sp = keys[:0]
+		keysPool.Put(sp)
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedValue, v)
+	}
+}
+
+// keysPool recycles the sorted-key scratch slices map encoding needs, so a
+// steady-state encode of nested maps allocates nothing.
+var keysPool = sync.Pool{
+	New: func() any { s := make([]string, 0, 16); return &s },
+}
+
+// DecodeBinary parses a binary-codec value. It rejects trailing data, depth
+// beyond maxJSONDepth, and any length or count exceeding the bytes that
+// remain — malformed or hostile input errors out before large allocations.
+func DecodeBinary(data []byte) (Value, error) {
+	v, rest, err := decodeBinary(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes of trailing data", ErrBinary, len(rest))
+	}
+	return v, nil
+}
+
+func decodeBinary(data []byte, depth int) (Value, []byte, error) {
+	if depth > maxJSONDepth {
+		return nil, nil, fmt.Errorf("%w: nesting too deep", ErrBinary)
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("%w: unexpected end of input", ErrBinary)
+	}
+	tag := data[0]
+	data = data[1:]
+	switch tag {
+	case tagNull:
+		return nil, data, nil
+	case tagFalse:
+		return false, data, nil
+	case tagTrue:
+		return true, data, nil
+	case tagFloat:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("%w: truncated float", ErrBinary)
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(data))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// The encoder never emits NaN/Inf (both codecs coerce them to
+			// null); hostile bits get the same treatment on the way in.
+			return nil, data[8:], nil
+		}
+		return f, data[8:], nil
+	case tagInt:
+		n, sz := binary.Varint(data)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad varint", ErrBinary)
+		}
+		return float64(n), data[sz:], nil
+	case tagString:
+		s, rest, err := decodeBinaryString(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, rest, nil
+	case tagArray:
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad array count", ErrBinary)
+		}
+		data = data[sz:]
+		// Every element takes at least one byte: a count beyond the bytes
+		// remaining is a lie, reject before allocating.
+		if n > uint64(len(data)) {
+			return nil, nil, fmt.Errorf("%w: array count %d exceeds input", ErrBinary, n)
+		}
+		out := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var (
+				e   Value
+				err error
+			)
+			e, data, err = decodeBinary(data, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, e)
+		}
+		return out, data, nil
+	case tagMap:
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad map count", ErrBinary)
+		}
+		data = data[sz:]
+		// Every entry takes at least two bytes (key length + value tag).
+		if n > uint64(len(data))/2 {
+			return nil, nil, fmt.Errorf("%w: map count %d exceeds input", ErrBinary, n)
+		}
+		out := make(Map, n)
+		for i := uint64(0); i < n; i++ {
+			var (
+				k   string
+				v   Value
+				err error
+			)
+			k, data, err = decodeBinaryString(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			v, data, err = decodeBinary(data, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[k] = v
+		}
+		return out, data, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrBinary, tag)
+	}
+}
+
+// decodeBinaryString reads uvarint length + bytes. The string is the one
+// copy the decoder makes: it must outlive the frame buffer. Invalid UTF-8
+// is coerced to U+FFFD exactly like the JSON codec, so the two wire formats
+// can never disagree about string content.
+func decodeBinaryString(data []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return "", nil, fmt.Errorf("%w: bad string length", ErrBinary)
+	}
+	data = data[sz:]
+	if n > uint64(len(data)) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds input", ErrBinary, n)
+	}
+	raw := data[:n]
+	if !utf8.Valid(raw) {
+		return fixUTF8(raw), data[n:], nil
+	}
+	return string(raw), data[n:], nil
+}
+
+// Decode parses either codec, sniffing by the first byte: binary tags are
+// 0x00..0x07, which never begin valid JSON. This keeps mixed-codec peers
+// interoperable — a node that still speaks JSON is decoded transparently.
+func Decode(data []byte) (Value, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBinary)
+	}
+	if data[0] <= binaryMaxTag {
+		return DecodeBinary(data)
+	}
+	return DecodeJSON(data)
+}

@@ -60,3 +60,33 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeVsStdlib pins the hand-rolled JSON decoder to encoding/json
+// semantics: on every input both must agree on acceptance, and on accepted
+// inputs they must produce Equal values. Inputs are capped well below the
+// nesting-depth limit, where the two implementations may legitimately draw
+// the line one level apart.
+func FuzzDecodeVsStdlib(f *testing.F) {
+	f.Add([]byte(`{"a":[1,2.5,"x",null,true],"b":{"c":-3}}`))
+	f.Add([]byte(`"esc \u00e9 \ud83d\ude00 \ud800 tail"`))
+	f.Add([]byte(`  [ 0.5e-3 , -0 , 1e15 ]  `))
+	f.Add([]byte(`{"dup":1,"dup":2}`))
+	f.Add([]byte("\"raw \x80\xff bytes\""))
+	f.Add([]byte(`01`))
+	f.Add([]byte(`1.`))
+	f.Add([]byte(`[1,]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		got, gotErr := DecodeJSON(data)
+		want, wantErr := refDecodeJSON(data)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("acceptance disagrees with stdlib on %q:\n ours: %v\n  ref: %v", data, gotErr, wantErr)
+		}
+		if gotErr == nil && !Equal(got, want) {
+			t.Errorf("value disagrees with stdlib on %q:\n ours: %#v\n  ref: %#v", data, got, want)
+		}
+	})
+}

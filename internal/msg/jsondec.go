@@ -1,0 +1,358 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// A hand-rolled JSON decoder. The stdlib path this replaces allocated a
+// fresh json.Decoder (and, before the double-copy fix, a full string copy of
+// the input) on every call — real garbage on the receive path, where the
+// transport decodes one body per delivered message in a loop. json.Decoder
+// cannot be pooled (it has no Reset and carries sticky read-ahead state), so
+// the loop-friendly fix is a decoder with no per-call state at all: this
+// scanner walks the input in place and allocates only the values it
+// returns. Semantics mirror encoding/json: strict number/escape syntax,
+// unescaped control characters rejected, invalid UTF-8 coerced to U+FFFD,
+// last duplicate key wins. The fuzz suite cross-checks it against the
+// stdlib on arbitrary inputs.
+
+// maxJSONDepth bounds recursion so hostile deeply-nested input cannot
+// exhaust the stack. (The binary codec enforces the same bound.)
+const maxJSONDepth = 10000
+
+var errTrailingData = errors.New("msg: decode: trailing data")
+
+// DecodeJSON parses JSON into a message value. Objects decode to Map, arrays
+// to []Value, numbers to float64 — exactly the message value domain.
+func DecodeJSON(data []byte) (Value, error) {
+	d := jsonScanner{in: data}
+	d.skipSpace()
+	v, err := d.value(0)
+	if err != nil {
+		return nil, fmt.Errorf("msg: decode: %w", err)
+	}
+	d.skipSpace()
+	if d.i < len(d.in) {
+		return nil, errTrailingData
+	}
+	return v, nil
+}
+
+type jsonScanner struct {
+	in []byte
+	i  int
+}
+
+func (d *jsonScanner) skipSpace() {
+	for d.i < len(d.in) {
+		switch d.in[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *jsonScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: "+format, append([]any{d.i}, args...)...)
+}
+
+// value scans one JSON value starting at d.i (whitespace already skipped).
+func (d *jsonScanner) value(depth int) (Value, error) {
+	if depth > maxJSONDepth {
+		return nil, errors.New("nesting too deep")
+	}
+	if d.i >= len(d.in) {
+		return nil, errors.New("unexpected end of input")
+	}
+	switch c := d.in[d.i]; {
+	case c == '{':
+		return d.object(depth)
+	case c == '[':
+		return d.array(depth)
+	case c == '"':
+		return d.string()
+	case c == 't':
+		return true, d.literal("true")
+	case c == 'f':
+		return false, d.literal("false")
+	case c == 'n':
+		return nil, d.literal("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return d.number()
+	default:
+		return nil, d.errf("unexpected character %q", c)
+	}
+}
+
+func (d *jsonScanner) literal(lit string) error {
+	if len(d.in)-d.i < len(lit) || string(d.in[d.i:d.i+len(lit)]) != lit {
+		return d.errf("invalid literal")
+	}
+	d.i += len(lit)
+	return nil
+}
+
+func (d *jsonScanner) object(depth int) (Value, error) {
+	d.i++ // '{'
+	out := Map{}
+	d.skipSpace()
+	if d.i < len(d.in) && d.in[d.i] == '}' {
+		d.i++
+		return out, nil
+	}
+	for {
+		d.skipSpace()
+		if d.i >= len(d.in) || d.in[d.i] != '"' {
+			return nil, d.errf("object key must be a string")
+		}
+		key, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		d.skipSpace()
+		if d.i >= len(d.in) || d.in[d.i] != ':' {
+			return nil, d.errf("missing ':' after object key")
+		}
+		d.i++
+		d.skipSpace()
+		v, err := d.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+		d.skipSpace()
+		if d.i >= len(d.in) {
+			return nil, errors.New("unterminated object")
+		}
+		switch d.in[d.i] {
+		case ',':
+			d.i++
+		case '}':
+			d.i++
+			return out, nil
+		default:
+			return nil, d.errf("expected ',' or '}'")
+		}
+	}
+}
+
+func (d *jsonScanner) array(depth int) (Value, error) {
+	d.i++ // '['
+	out := []Value{}
+	d.skipSpace()
+	if d.i < len(d.in) && d.in[d.i] == ']' {
+		d.i++
+		return out, nil
+	}
+	for {
+		d.skipSpace()
+		v, err := d.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		d.skipSpace()
+		if d.i >= len(d.in) {
+			return nil, errors.New("unterminated array")
+		}
+		switch d.in[d.i] {
+		case ',':
+			d.i++
+		case ']':
+			d.i++
+			return out, nil
+		default:
+			return nil, d.errf("expected ',' or ']'")
+		}
+	}
+}
+
+func (d *jsonScanner) number() (float64, error) {
+	start := d.i
+	if d.i < len(d.in) && d.in[d.i] == '-' {
+		d.i++
+	}
+	// Integer part: a single 0, or a nonzero digit followed by digits.
+	switch {
+	case d.i < len(d.in) && d.in[d.i] == '0':
+		d.i++
+	case d.i < len(d.in) && d.in[d.i] >= '1' && d.in[d.i] <= '9':
+		for d.i < len(d.in) && d.in[d.i] >= '0' && d.in[d.i] <= '9' {
+			d.i++
+		}
+	default:
+		return 0, d.errf("invalid number")
+	}
+	if d.i < len(d.in) && d.in[d.i] == '.' {
+		d.i++
+		if d.i >= len(d.in) || d.in[d.i] < '0' || d.in[d.i] > '9' {
+			return 0, d.errf("invalid number: missing fraction digits")
+		}
+		for d.i < len(d.in) && d.in[d.i] >= '0' && d.in[d.i] <= '9' {
+			d.i++
+		}
+	}
+	if d.i < len(d.in) && (d.in[d.i] == 'e' || d.in[d.i] == 'E') {
+		d.i++
+		if d.i < len(d.in) && (d.in[d.i] == '+' || d.in[d.i] == '-') {
+			d.i++
+		}
+		if d.i >= len(d.in) || d.in[d.i] < '0' || d.in[d.i] > '9' {
+			return 0, d.errf("invalid number: missing exponent digits")
+		}
+		for d.i < len(d.in) && d.in[d.i] >= '0' && d.in[d.i] <= '9' {
+			d.i++
+		}
+	}
+	f, err := strconv.ParseFloat(string(d.in[start:d.i]), 64)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+func (d *jsonScanner) string() (string, error) {
+	d.i++ // '"'
+	start := d.i
+	// Fast path: scan for the closing quote; bail to the slow path at the
+	// first escape or invalid-UTF-8 candidate.
+	for d.i < len(d.in) {
+		c := d.in[d.i]
+		if c == '"' {
+			s := d.in[start:d.i]
+			d.i++
+			if !utf8.Valid(s) {
+				return fixUTF8(s), nil
+			}
+			return string(s), nil
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			break
+		}
+		d.i++
+	}
+	// Slow path: build the string rune by rune from the fast-scanned prefix.
+	buf := append([]byte(nil), d.in[start:d.i]...)
+	for d.i < len(d.in) {
+		c := d.in[d.i]
+		switch {
+		case c == '"':
+			d.i++
+			return string(buf), nil
+		case c < 0x20:
+			return "", d.errf("unescaped control character in string")
+		case c == '\\':
+			d.i++
+			if d.i >= len(d.in) {
+				return "", errors.New("unterminated escape")
+			}
+			switch e := d.in[d.i]; e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+				d.i++
+			case 'b':
+				buf = append(buf, '\b')
+				d.i++
+			case 'f':
+				buf = append(buf, '\f')
+				d.i++
+			case 'n':
+				buf = append(buf, '\n')
+				d.i++
+			case 'r':
+				buf = append(buf, '\r')
+				d.i++
+			case 't':
+				buf = append(buf, '\t')
+				d.i++
+			case 'u':
+				d.i++
+				r, err := d.hex4()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(rune(r)) {
+					// A high surrogate must be followed by \uXXXX low; any
+					// unpaired surrogate decodes to U+FFFD, like the stdlib.
+					if d.i+1 < len(d.in) && d.in[d.i] == '\\' && d.in[d.i+1] == 'u' {
+						save := d.i
+						d.i += 2
+						r2, err := d.hex4()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
+							buf = utf8.AppendRune(buf, dec)
+							continue
+						}
+						d.i = save // second escape was not the pair: re-scan it
+					}
+					buf = utf8.AppendRune(buf, utf8.RuneError)
+					continue
+				}
+				buf = utf8.AppendRune(buf, rune(r))
+			default:
+				return "", d.errf("invalid escape '\\%c'", e)
+			}
+		case c < 0x80:
+			buf = append(buf, c)
+			d.i++
+		default:
+			r, size := utf8.DecodeRune(d.in[d.i:])
+			if r == utf8.RuneError && size <= 1 {
+				buf = utf8.AppendRune(buf, utf8.RuneError)
+				d.i++
+				continue
+			}
+			buf = append(buf, d.in[d.i:d.i+size]...)
+			d.i += size
+		}
+	}
+	return "", errors.New("unterminated string")
+}
+
+// hex4 reads 4 hex digits of a \u escape.
+func (d *jsonScanner) hex4() (uint16, error) {
+	if len(d.in)-d.i < 4 {
+		return 0, errors.New("truncated \\u escape")
+	}
+	var r uint16
+	for k := 0; k < 4; k++ {
+		c := d.in[d.i+k]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | uint16(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | uint16(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | uint16(c-'A'+10)
+		default:
+			return 0, d.errf("invalid \\u escape")
+		}
+	}
+	d.i += 4
+	return r, nil
+}
+
+// fixUTF8 copies s replacing invalid UTF-8 sequences with U+FFFD,
+// matching encoding/json's unquote behavior.
+func fixUTF8(s []byte) string {
+	buf := make([]byte, 0, len(s)+3)
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRune(s[i:])
+		if r == utf8.RuneError && size <= 1 {
+			buf = utf8.AppendRune(buf, utf8.RuneError)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return string(buf)
+}

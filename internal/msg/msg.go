@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -76,6 +75,9 @@ func Normalize(v any) (Value, error) {
 	case Map:
 		out := make(Map, len(x))
 		for k, e := range x {
+			if isMarker(k, e) {
+				continue // normalized copies are mutable; drop the freeze marker
+			}
 			n, err := Normalize(e)
 			if err != nil {
 				return nil, err
@@ -99,25 +101,40 @@ func MustNormalize(v any) Value {
 }
 
 // Clone deep-copies a message value. Maps and slices are copied; scalars are
-// returned as-is. Cloning at ownership boundaries keeps subscribers from
-// mutating each other's view of a published message.
+// returned as-is. Clones are always mutable: cloning a frozen map drops the
+// freeze marker. Cloning at ownership boundaries keeps subscribers from
+// mutating each other's view of a published message; the broker now freezes
+// instead (see freeze.go), so Clone is the slow path writers pay via Thaw.
 func Clone(v Value) Value {
 	switch x := v.(type) {
 	case []Value:
-		out := make([]Value, len(x))
-		for i, e := range x {
-			out[i] = Clone(e)
-		}
-		return out
+		return cloneSlice(x, 0)
 	case Map:
-		out := make(Map, len(x))
-		for k, e := range x {
-			out[k] = Clone(e)
-		}
-		return out
+		return cloneMap(x, 0)
 	default:
 		return x
 	}
+}
+
+func cloneSlice(x []Value, extraCap int) []Value {
+	out := make([]Value, len(x), len(x)+extraCap)
+	for i, e := range x {
+		out[i] = Clone(e)
+	}
+	return out
+}
+
+// cloneMap deep-copies a map, skipping the freeze marker. extraCap reserves
+// room so Freeze can add the marker to the clone without a rehash.
+func cloneMap(x Map, extraCap int) Map {
+	out := make(Map, len(x)+extraCap)
+	for k, e := range x {
+		if isMarker(k, e) {
+			continue
+		}
+		out[k] = Clone(e)
+	}
+	return out
 }
 
 // Equal reports deep equality of two message values. NaN compares equal to
@@ -154,10 +171,13 @@ func Equal(a, b Value) bool {
 		return true
 	case Map:
 		y, ok := b.(Map)
-		if !ok || len(x) != len(y) {
+		if !ok || Len(x) != Len(y) {
 			return false
 		}
 		for k, v := range x {
+			if isMarker(k, v) {
+				continue // freeze markers are invisible to message content
+			}
 			w, present := y[k]
 			if !present || !Equal(v, w) {
 				return false
@@ -211,11 +231,7 @@ func encodeJSON(sb *strings.Builder, v Value) error {
 		}
 		sb.WriteByte(']')
 	case Map:
-		keys := make([]string, 0, len(x))
-		for k := range x {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
+		keys := Keys(x)
 		sb.WriteByte('{')
 		for i, k := range keys {
 			if i > 0 {
@@ -254,82 +270,6 @@ func appendJSONString(sb *strings.Builder, s string) {
 	}
 	b, _ := json.Marshal(s)
 	sb.Write(b)
-}
-
-// DecodeJSON parses JSON into a message value. Objects decode to Map, arrays
-// to []Value, numbers to float64 — exactly the message value domain.
-func DecodeJSON(data []byte) (Value, error) {
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.UseNumber()
-	raw, err := decodeToken(dec)
-	if err != nil {
-		return nil, fmt.Errorf("msg: decode: %w", err)
-	}
-	if dec.More() {
-		return nil, errors.New("msg: decode: trailing data")
-	}
-	return raw, nil
-}
-
-func decodeToken(dec *json.Decoder) (Value, error) {
-	tok, err := dec.Token()
-	if err != nil {
-		return nil, err
-	}
-	switch t := tok.(type) {
-	case json.Delim:
-		switch t {
-		case '{':
-			out := Map{}
-			for dec.More() {
-				keyTok, err := dec.Token()
-				if err != nil {
-					return nil, err
-				}
-				key, ok := keyTok.(string)
-				if !ok {
-					return nil, fmt.Errorf("object key is %T, want string", keyTok)
-				}
-				val, err := decodeToken(dec)
-				if err != nil {
-					return nil, err
-				}
-				out[key] = val
-			}
-			if _, err := dec.Token(); err != nil { // consume '}'
-				return nil, err
-			}
-			return out, nil
-		case '[':
-			var out []Value
-			for dec.More() {
-				val, err := decodeToken(dec)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, val)
-			}
-			if _, err := dec.Token(); err != nil { // consume ']'
-				return nil, err
-			}
-			if out == nil {
-				out = []Value{}
-			}
-			return out, nil
-		default:
-			return nil, fmt.Errorf("unexpected delimiter %q", t)
-		}
-	case json.Number:
-		f, err := t.Float64()
-		if err != nil {
-			return nil, err
-		}
-		return f, nil
-	case string, bool, nil:
-		return t, nil
-	default:
-		return nil, fmt.Errorf("unexpected token %T", tok)
-	}
 }
 
 // Get walks a dotted path ("wifi.rssi") through nested Maps and returns the

@@ -31,14 +31,36 @@ import (
 type Event struct {
 	// Channel the message was published on.
 	Channel string
-	// Message payload. Each subscriber receives its own deep copy.
+	// Message payload. The broker freezes a published message once and hands
+	// every subscriber the SAME frozen tree (msg.IsFrozen reports true), so
+	// fanout costs one copy regardless of subscriber count. Treat it as
+	// read-only; a handler that wants to mutate calls MutableMessage and
+	// pays for its own private clone.
 	Message msg.Map
-	// Params of the subscription the event is being delivered to.
+	// Params of the subscription the event is being delivered to. Frozen and
+	// shared with the subscription: read-only.
 	Params msg.Map
 	// Origin identifies the remote node the message came from, or "" for a
 	// local publication. The core fills this in for messages that crossed
 	// the network boundary so collector scripts can distinguish devices.
 	Origin string
+
+	// cow counts lazy copy-on-write clones for the owning broker's metrics
+	// (msg_cow_clones); nil-safe.
+	cow *obs.Counter
+}
+
+// MutableMessage returns a privately owned, mutable version of the event's
+// message, cloning lazily on first call (the "write" half of copy-on-write).
+// Subsequent calls — and direct reads of e.Message afterwards — see the same
+// private copy.
+func (e *Event) MutableMessage() msg.Map {
+	if e.Message == nil || !msg.IsFrozen(e.Message) {
+		return e.Message
+	}
+	e.Message = msg.Thaw(e.Message)
+	e.cow.Inc()
+	return e.Message
 }
 
 // Handler consumes events for one subscription.
@@ -56,6 +78,7 @@ type SubscriptionInfo struct {
 type Broker struct {
 	mu       sync.Mutex
 	subs     map[string][]*Subscription // channel → subscriptions (active and inactive)
+	snap     map[string][]*Subscription // publish-path snapshot cache, see snapshot()
 	watchers map[int]*watcher
 	nextID   int
 	obs      *brokerObs // nil until Instrument
@@ -68,6 +91,8 @@ type brokerObs struct {
 	now        func() time.Time
 	publishes  *obs.Counter
 	deliveries *obs.Counter
+	freezeHits *obs.Counter
+	cowClones  *obs.Counter
 	fanout     *obs.Histogram
 	active     *obs.Gauge
 	tracer     *obs.Tracer
@@ -89,6 +114,8 @@ func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node, entit
 		now:        now,
 		publishes:  reg.Counter("pubsub_publishes_total", obs.L("node", node)),
 		deliveries: reg.Counter("pubsub_deliveries_total", obs.L("node", node)),
+		freezeHits: reg.Counter("msg_freeze_hits", obs.L("node", node)),
+		cowClones:  reg.Counter("msg_cow_clones", obs.L("node", node)),
 		fanout:     reg.Histogram("pubsub_fanout_subscribers", obs.CountBuckets, obs.L("node", node)),
 		active:     reg.Gauge("pubsub_subscriptions_active", obs.L("node", node)),
 		tracer:     reg.Tracer(),
@@ -103,8 +130,24 @@ func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node, entit
 func New() *Broker {
 	return &Broker{
 		subs:     make(map[string][]*Subscription),
+		snap:     make(map[string][]*Subscription),
 		watchers: make(map[int]*watcher),
 	}
+}
+
+// snapshot returns the cached publish-order view of a channel's
+// subscriptions, building it on the first publish after a membership change.
+// The returned slice is immutable (rebuilt, never patched), so PublishFrom
+// can iterate it outside the lock — activity is re-checked per delivery via
+// the atomic active flag, which keeps Release/Renew out of the invalidation
+// story entirely. Caller holds b.mu.
+func (b *Broker) snapshot(channel string) []*Subscription {
+	snap, ok := b.snap[channel]
+	if !ok {
+		snap = append([]*Subscription(nil), b.subs[channel]...)
+		b.snap[channel] = snap
+	}
+	return snap
 }
 
 type watcher struct {
@@ -119,23 +162,23 @@ func (b *Broker) Subscribe(channel string, params msg.Map, h Handler) *Subscript
 	sub := &Subscription{
 		broker:  b,
 		channel: channel,
-		params:  msg.Clone(params).(msg.Map),
+		params:  msg.Freeze(params),
 		handler: h,
 	}
 	sub.active.Store(true)
-	if params == nil {
-		sub.params = nil
-	}
 	b.mu.Lock()
 	b.subs[channel] = append(b.subs[channel], sub)
+	delete(b.snap, channel)
 	b.mu.Unlock()
 	b.notifyChange(channel)
 	return sub
 }
 
 // Publish delivers a message to every active subscription on the channel.
-// Each subscriber receives a deep copy of the message. Publish returns the
-// number of subscriptions the message was delivered to.
+// The message is frozen once (msg.Freeze) and the same immutable tree is
+// handed to every subscriber — fanout is zero-copy; handlers clone lazily
+// through Event.MutableMessage. Publish returns the number of subscriptions
+// the message was delivered to.
 func (b *Broker) Publish(channel string, m msg.Map) int {
 	return b.PublishFrom(channel, m, "")
 }
@@ -145,21 +188,27 @@ func (b *Broker) Publish(channel string, m msg.Map) int {
 func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 	b.mu.Lock()
 	o := b.obs
-	subs := make([]*Subscription, 0, len(b.subs[channel]))
-	for _, s := range b.subs[channel] {
-		if s.active.Load() {
-			subs = append(subs, s)
-		}
-	}
+	subs := b.snapshot(channel)
 	b.mu.Unlock()
+
+	wasFrozen := msg.IsFrozen(m)
+	frozen := msg.Freeze(m)
+	// Freeze declines to mark a map that hides an ordinary entry under the
+	// marker key; those (wire-crafted) messages fall back to the historical
+	// clone-per-subscriber path rather than lose content or share a mutable
+	// map.
+	shared := msg.IsFrozen(frozen)
 
 	delivered := 0
 	for _, s := range subs {
-		if s.handler != nil {
+		if s.handler != nil && s.active.Load() {
 			delivered++
 		}
 	}
 	if o != nil {
+		if wasFrozen {
+			o.freezeHits.Inc()
+		}
 		o.publishes.Inc()
 		o.deliveries.Add(int64(delivered))
 		o.fanout.Observe(float64(delivered))
@@ -179,23 +228,31 @@ func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 			o.ledger.Meter(o.entity, "", channel).AddMessages(1)
 		}
 	}
+	var cow *obs.Counter
+	if o != nil {
+		cow = o.cowClones
+	}
 	for _, s := range subs {
-		if s.handler == nil {
+		if s.handler == nil || !s.active.Load() {
 			continue
 		}
-		clone, _ := msg.Clone(m).(msg.Map)
+		delivery := frozen
+		if !shared && delivery != nil {
+			delivery, _ = msg.Clone(frozen).(msg.Map)
+		}
 		s.handler(Event{
 			Channel: channel,
-			Message: clone,
-			Params:  s.Params(),
+			Message: delivery,
+			Params:  s.params,
 			Origin:  origin,
+			cow:     cow,
 		})
 	}
 	return delivered
 }
 
-// Subscriptions returns the active subscriptions on a channel. The slice and
-// the param maps are copies.
+// Subscriptions returns the active subscriptions on a channel. The param
+// maps are frozen (shared, read-only) snapshots.
 func (b *Broker) Subscriptions(channel string) []SubscriptionInfo {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -294,6 +351,7 @@ func (b *Broker) removeSub(sub *Subscription) {
 	if len(b.subs[sub.channel]) == 0 {
 		delete(b.subs, sub.channel)
 	}
+	delete(b.snap, sub.channel)
 	b.mu.Unlock()
 }
 
@@ -318,14 +376,12 @@ type Subscription struct {
 // Channel returns the subscribed channel name.
 func (s *Subscription) Channel() string { return s.channel }
 
-// Params returns a copy of the subscription's parameter object (nil when the
-// subscription has none).
+// Params returns the subscription's parameter object (nil when the
+// subscription has none). The map is frozen at Subscribe time and shared:
+// read-only for all callers, no per-call copy. A caller that needs a mutable
+// version thaws it (msg.Thaw) and pays for its own clone.
 func (s *Subscription) Params() msg.Map {
-	if s.params == nil {
-		return nil
-	}
-	clone, _ := msg.Clone(s.params).(msg.Map)
-	return clone
+	return s.params
 }
 
 // Active reports whether the subscription currently receives events.

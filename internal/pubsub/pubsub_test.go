@@ -33,16 +33,33 @@ func TestPublishOnlyMatchingChannel(t *testing.T) {
 	}
 }
 
-func TestSubscriberGetsDeepCopy(t *testing.T) {
+// TestSubscriberCopyOnWrite pins the zero-copy delivery contract: events
+// carry a shared frozen message, and MutableMessage gives each handler a
+// private clone whose mutations leak neither to other subscribers nor back
+// to the publisher.
+func TestSubscriberCopyOnWrite(t *testing.T) {
 	b := New()
-	var first, second msg.Map
+	var second msg.Map
+	first := true
 	b.Subscribe("c", nil, func(ev Event) {
-		if first == nil {
-			first = ev.Message
-			first["mutated"] = true
-			first["nested"].(msg.Map)["x"] = 99.0
+		if !msg.IsFrozen(ev.Message) {
+			t.Error("delivered message is not frozen")
+		}
+		if first {
+			first = false
+			m := ev.MutableMessage()
+			m["mutated"] = true
+			m["nested"].(msg.Map)["x"] = 99.0
+			if !msg.Equal(m, ev.Message) {
+				t.Error("MutableMessage and Message diverged within the event")
+			}
 		} else {
 			second = ev.Message
+		}
+	})
+	b.Subscribe("c", nil, func(ev Event) {
+		if _, ok := ev.Message["mutated"]; ok {
+			t.Error("first subscriber's mutation leaked to a peer in the same fanout")
 		}
 	})
 	orig := msg.Map{"nested": msg.Map{"x": 1.0}}
@@ -57,6 +74,41 @@ func TestSubscriberGetsDeepCopy(t *testing.T) {
 	if _, ok := orig["mutated"]; ok {
 		t.Error("subscriber mutated publisher's message")
 	}
+	if msg.IsFrozen(orig) {
+		t.Error("Publish froze the publisher's own map")
+	}
+}
+
+// TestFrozenSharingNoRaces: many subscribers reading the same frozen tree
+// while half of them mutate through MutableMessage — run under -race (make
+// check does) this proves sharing is race-free and COW isolates writers.
+func TestFrozenSharingNoRaces(t *testing.T) {
+	b := New()
+	const subscribers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		mutate := i%2 == 0
+		b.Subscribe("shared", nil, func(ev Event) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if mutate {
+					m := ev.MutableMessage()
+					m["private"] = true
+					m["nested"].(msg.Map)["x"] = 2.0
+				} else {
+					// Pure readers walk the shared frozen tree.
+					if ev.Message["nested"].(msg.Map)["x"].(float64) != 1.0 {
+						t.Error("reader saw a writer's private mutation")
+					}
+				}
+			}()
+		})
+	}
+	for i := 0; i < 50; i++ {
+		b.Publish("shared", msg.Map{"nested": msg.Map{"x": 1.0}, "n": float64(i)})
+	}
+	wg.Wait()
 }
 
 func TestReleaseRenewIdempotent(t *testing.T) {
@@ -105,16 +157,21 @@ func TestSubscriptionParams(t *testing.T) {
 	params := msg.Map{"interval": 60000.0, "provider": "GPS"}
 	sub := b.Subscribe("location", params, func(Event) {})
 
-	// Mutating the caller's map must not affect the stored params.
+	// Mutating the caller's map must not affect the stored params: Subscribe
+	// froze its own snapshot.
 	params["interval"] = 1.0
 	got := sub.Params()
 	if got["interval"].(float64) != 60000.0 {
-		t.Error("params not copied on subscribe")
+		t.Error("params not snapshotted on subscribe")
 	}
-	// Mutating the returned copy must not affect the stored params.
-	got["provider"] = "NETWORK"
+	// Params is frozen and shared — no per-call copy. Writers thaw.
+	if !msg.IsFrozen(got) {
+		t.Error("Params not frozen")
+	}
+	mine := msg.Thaw(got)
+	mine["provider"] = "NETWORK"
 	if sub.Params()["provider"].(string) != "GPS" {
-		t.Error("Params returned internal state")
+		t.Error("thawed copy aliased internal state")
 	}
 
 	infos := b.Subscriptions("location")

@@ -3,7 +3,6 @@ package script
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -295,13 +294,10 @@ func FromMsg(v msg.Value) Value {
 		}
 		return NewArray(elems...)
 	case msg.Map:
-		keys := make([]string, 0, len(x))
-		for k := range x {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
+		// msg.Keys sorts and skips the freeze marker, so frozen broker
+		// deliveries convert identically to thawed ones.
 		o := NewObject()
-		for _, k := range keys {
+		for _, k := range msg.Keys(x) {
 			o.Set(k, FromMsg(x[k]))
 		}
 		return o

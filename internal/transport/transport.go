@@ -158,6 +158,10 @@ type EndpointConfig struct {
 	// are charged to; defaults to the messenger's local id. Experiments use
 	// it to keep per-trial accounting apart in one registry.
 	Entity string
+	// Codec selects the wire encoding (envelopes and message bodies). The
+	// zero value is CodecBinary; set CodecJSON for the legacy format.
+	// Receivers accept either codec regardless of this setting.
+	Codec Codec
 }
 
 // endpointObs bundles the endpoint's instruments. With no registry attached
@@ -179,6 +183,7 @@ type endpointObs struct {
 	bytesRecv      *obs.Counter
 	flushes        *obs.Counter
 	sendErrors     *obs.Counter
+	codecSaved     *obs.Counter // bytes the binary body codec saved vs JSON
 	batchSize      *obs.Histogram
 	queueDelay     *obs.Histogram
 
@@ -219,6 +224,7 @@ func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
 		bytesRecv:      reg.Counter("transport_bytes_received_total", l),
 		flushes:        reg.Counter("transport_flushes_total", l),
 		sendErrors:     reg.Counter("transport_send_errors_total", l),
+		codecSaved:     reg.Counter("codec_bytes_saved_vs_json", l),
 		batchSize:      reg.Histogram("transport_batch_size_messages", obs.CountBuckets, l),
 		queueDelay:     reg.Histogram("transport_queue_delay_seconds", obs.DefBuckets, l),
 	}
@@ -416,16 +422,29 @@ func (e *Endpoint) retryWait(attempts int) time.Duration {
 
 // Enqueue buffers a message for peer `to` on the given channel. The message
 // is durable (subject to MaxAge) until acknowledged; call Flush — or attach
-// a flush policy in core — to move it.
+// a flush policy in core — to move it. The body is encoded into pooled
+// scratch (the outbox keeps its own copy), so steady-state enqueues generate
+// no wire-encoding garbage.
 func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
-	b, err := msg.EncodeJSON(payload)
+	bp := wireBufPool.Get().(*[]byte)
+	b, err := e.encodeBody((*bp)[:0], payload)
 	if err != nil {
+		wireBufPool.Put(bp)
 		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if e.cfg.Codec == CodecBinary && e.obs.codecSaved != nil {
+		// Metered runs pay one JSON encode per message to report exact
+		// savings; unmetered hot paths skip it entirely.
+		if jb, jerr := msg.EncodeJSON(payload); jerr == nil && len(jb) > len(b) {
+			e.obs.codecSaved.Add(int64(len(jb) - len(b)))
+		}
 	}
 	now := e.clk.Now()
 	e.mu.Lock()
 	seq := e.nextSeq[seqKey(to, channel)]
-	id, err := e.box.Add(to, channel, seq, b, now)
+	id, err := e.box.Add(to, channel, seq, b, now) // Add copies the payload
+	*bp = b[:0]
+	wireBufPool.Put(bp)
 	if err != nil {
 		e.mu.Unlock()
 		return fmt.Errorf("transport: enqueue: %w", err)
@@ -436,6 +455,18 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 	e.obs.enqueued.Inc()
 	e.obs.record(now, channel, obs.StageEnqueue, id, "to="+to)
 	return nil
+}
+
+// encodeBody appends the codec-selected encoding of payload to dst.
+func (e *Endpoint) encodeBody(dst []byte, payload msg.Value) ([]byte, error) {
+	if e.cfg.Codec == CodecJSON {
+		b, err := msg.EncodeJSON(payload)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, b...), nil
+	}
+	return msg.AppendBinary(dst, payload)
 }
 
 // Flush attempts delivery of every eligible buffered message, batched into
@@ -572,16 +603,23 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		if len(env.Batch) == 0 && len(env.Floors) == 0 {
 			continue
 		}
-		b, err := json.Marshal(env)
+		bp := wireBufPool.Get().(*[]byte)
+		buf := append((*bp)[:0], frameHeader[:]...)
+		buf, err := appendEnvelope(buf, &env, e.cfg.Codec)
 		if err != nil {
+			wireBufPool.Put(bp)
 			continue
 		}
-		wire := frame(b)
-		if err := e.m.Send(dest, wire); err != nil {
+		wire := frameInto(buf)
+		err = e.m.Send(dest, wire) // Send copies; the buffer is ours again
+		wireLen := int64(len(wire))
+		*bp = buf[:0]
+		wireBufPool.Put(bp)
+		if err != nil {
 			e.obs.sendErrors.Inc()
 			continue
 		}
-		e.notifyWire(int64(len(wire)), 0)
+		e.notifyWire(wireLen, 0)
 		retries := 0
 		e.mu.Lock()
 		for _, entry := range entries {
@@ -596,12 +634,12 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		delete(e.dirty, dest)
 		e.stats.MessagesSent += len(entries)
 		e.stats.Retries += retries
-		e.stats.BytesSent += int64(len(wire))
+		e.stats.BytesSent += wireLen
 		e.mu.Unlock()
 		e.obs.sent.Add(int64(len(entries)))
 		e.obs.retries.Add(int64(retries))
-		e.obs.bytesSent.Add(int64(len(wire)))
-		e.obs.deviceMeter.AddUplink(int64(len(wire)))
+		e.obs.bytesSent.Add(wireLen)
+		e.obs.deviceMeter.AddUplink(wireLen)
 		for _, entry := range entries {
 			e.obs.chargeChannel(entry.Channel, int64(len(entry.Payload)))
 		}
@@ -633,8 +671,8 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		e.obs.corruptDropped.Inc()
 		return
 	}
-	var env envelope
-	if err := json.Unmarshal(body, &env); err != nil {
+	env, err := decodeEnvelope(body)
+	if err != nil {
 		e.mu.Lock()
 		e.stats.CorruptDropped++
 		e.mu.Unlock()
@@ -745,20 +783,26 @@ func (e *Endpoint) receive(from string, payload []byte) {
 	// sender's job is done once they arrive; ordering is receiver-local.
 	if len(ackIDs) > 0 {
 		ackEnv := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID, Ack: ackIDs}
-		if b, err := json.Marshal(ackEnv); err == nil {
-			wire := frame(b)
+		bp := wireBufPool.Get().(*[]byte)
+		buf := append((*bp)[:0], frameHeader[:]...)
+		if buf, err := appendEnvelope(buf, &ackEnv, e.cfg.Codec); err == nil {
+			wire := frameInto(buf)
 			if e.m.Send(sender, wire) == nil {
 				e.notifyWire(int64(len(wire)), 0)
 				e.obs.ackBytes.Add(int64(len(wire)))
 			}
+			*bp = buf[:0]
 		}
+		wireBufPool.Put(bp)
 	}
 
 	if handler == nil {
 		return
 	}
 	for _, item := range deliver {
-		v, err := msg.DecodeJSON(item.Body)
+		// Decode sniffs the body codec, so a mixed-codec peer set delivers
+		// uniformly.
+		v, err := msg.Decode(item.Body)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Binary envelope codec and pooled framing: the zero-garbage half of the
+// wire path. JSON envelopes remain fully supported on receive (the first
+// byte disambiguates — a JSON envelope starts with '{', a binary one with
+// envMagic), so endpoints with different codecs interoperate during a
+// migration; message BODIES are likewise sniffed by msg.Decode at delivery.
+//
+// Binary envelope layout (after the 9-byte CRC frame header):
+//
+//	magic     1 byte, envMagic (0xB0 | version)
+//	from      uvarint length + bytes
+//	boot      uvarint length + bytes
+//	batch     uvarint count, then per item:
+//	            id uvarint · seq uvarint · channel (uvarint len + bytes)
+//	            · body (uvarint len + bytes, already codec-encoded)
+//	acks      uvarint count + count uvarints
+//	floors    uvarint count + count × (channel uvarint len + bytes,
+//	            floor uvarint), channels sorted (deterministic bytes)
+
+// Codec selects the wire encoding of an endpoint's envelopes and message
+// bodies.
+type Codec int
+
+const (
+	// CodecBinary is the default: compact binary envelopes and bodies.
+	CodecBinary Codec = iota
+	// CodecJSON is the legacy JSON wire format, kept for debugging and for
+	// peers that predate the binary codec.
+	CodecJSON
+)
+
+// envMagic is the first byte of a binary envelope: 0xB0 | version. It can
+// never begin a JSON envelope ('{') and never appears at offset 0 of one.
+const envMagic = 0xB1
+
+var errEnvelope = errors.New("transport: malformed binary envelope")
+
+// wireBufPool recycles encode scratch for envelopes, acks, and enqueued
+// bodies. Every consumer (messenger Send, store.Outbox.Add) copies the bytes
+// it keeps, so buffers can be returned as soon as the call chain returns.
+var wireBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// frameHeader is the placeholder the encoder reserves at the front of a
+// pooled buffer; frameInto overwrites it with the real CRC32 header.
+var frameHeader = [9]byte{'0', '0', '0', '0', '0', '0', '0', '0', ':'}
+
+// frameInto fills the reserved 9-byte header of buf ("%08x:" CRC32 of the
+// body at buf[9:]) in place — the allocation-free equivalent of frame().
+func frameInto(buf []byte) []byte {
+	const hexdigits = "0123456789abcdef"
+	crc := crc32.ChecksumIEEE(buf[9:])
+	for i := 7; i >= 0; i-- {
+		buf[i] = hexdigits[crc&0xf]
+		crc >>= 4
+	}
+	buf[8] = ':'
+	return buf
+}
+
+// appendEnvelope appends the codec-selected encoding of env to dst.
+func appendEnvelope(dst []byte, env *envelope, codec Codec) ([]byte, error) {
+	if codec == CodecJSON {
+		b, err := json.Marshal(env)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, b...), nil
+	}
+	return appendEnvelopeBinary(dst, env), nil
+}
+
+func appendUvStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
+	dst = append(dst, envMagic)
+	dst = appendUvStr(dst, env.From)
+	dst = appendUvStr(dst, env.Boot)
+	dst = binary.AppendUvarint(dst, uint64(len(env.Batch)))
+	for i := range env.Batch {
+		it := &env.Batch[i]
+		dst = binary.AppendUvarint(dst, it.ID)
+		dst = binary.AppendUvarint(dst, it.Seq)
+		dst = appendUvStr(dst, it.Channel)
+		dst = binary.AppendUvarint(dst, uint64(len(it.Body)))
+		dst = append(dst, it.Body...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(env.Ack)))
+	for _, id := range env.Ack {
+		dst = binary.AppendUvarint(dst, id)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(env.Floors)))
+	if len(env.Floors) > 0 {
+		chans := make([]string, 0, len(env.Floors))
+		for ch := range env.Floors {
+			chans = append(chans, ch)
+		}
+		sort.Strings(chans)
+		for _, ch := range chans {
+			dst = appendUvStr(dst, ch)
+			dst = binary.AppendUvarint(dst, env.Floors[ch])
+		}
+	}
+	return dst
+}
+
+// decodeEnvelope parses either envelope encoding, sniffing by first byte.
+func decodeEnvelope(body []byte) (envelope, error) {
+	if len(body) > 0 && body[0] == envMagic {
+		return decodeEnvelopeBinary(body[1:])
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return envelope{}, err
+	}
+	return env, nil
+}
+
+// decodeEnvelopeBinary parses the body after the magic byte. Item bodies
+// alias the input buffer (zero-copy): the buffer is GC-owned by the receive
+// path, never pooled, so held-back items keep it alive exactly as long as
+// needed. Claimed counts and lengths are validated against the remaining
+// bytes before any allocation.
+func decodeEnvelopeBinary(b []byte) (envelope, error) {
+	var env envelope
+	var err error
+	if env.From, b, err = readUvStr(b); err != nil {
+		return envelope{}, err
+	}
+	if env.Boot, b, err = readUvStr(b); err != nil {
+		return envelope{}, err
+	}
+	n, b, err := readCount(b, 4) // id+seq+chlen+bodylen ≥ 4 bytes per item
+	if err != nil {
+		return envelope{}, err
+	}
+	if n > 0 {
+		env.Batch = make([]envelopeItem, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var it envelopeItem
+			if it.ID, b, err = readUv(b); err != nil {
+				return envelope{}, err
+			}
+			if it.Seq, b, err = readUv(b); err != nil {
+				return envelope{}, err
+			}
+			if it.Channel, b, err = readUvStr(b); err != nil {
+				return envelope{}, err
+			}
+			var bl uint64
+			if bl, b, err = readUv(b); err != nil {
+				return envelope{}, err
+			}
+			if bl > uint64(len(b)) {
+				return envelope{}, fmt.Errorf("%w: body length %d exceeds input", errEnvelope, bl)
+			}
+			it.Body = json.RawMessage(b[:bl])
+			b = b[bl:]
+			env.Batch = append(env.Batch, it)
+		}
+	}
+	if n, b, err = readCount(b, 1); err != nil {
+		return envelope{}, err
+	}
+	if n > 0 {
+		env.Ack = make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var id uint64
+			if id, b, err = readUv(b); err != nil {
+				return envelope{}, err
+			}
+			env.Ack = append(env.Ack, id)
+		}
+	}
+	if n, b, err = readCount(b, 2); err != nil {
+		return envelope{}, err
+	}
+	if n > 0 {
+		env.Floors = make(map[string]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			var ch string
+			var f uint64
+			if ch, b, err = readUvStr(b); err != nil {
+				return envelope{}, err
+			}
+			if f, b, err = readUv(b); err != nil {
+				return envelope{}, err
+			}
+			env.Floors[ch] = f
+		}
+	}
+	if len(b) != 0 {
+		return envelope{}, fmt.Errorf("%w: %d bytes of trailing data", errEnvelope, len(b))
+	}
+	return env, nil
+}
+
+func readUv(b []byte) (uint64, []byte, error) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", errEnvelope)
+	}
+	return v, b[sz:], nil
+}
+
+// readCount reads a uvarint element count and rejects it when even
+// minElemSize bytes per element would overrun the remaining input.
+func readCount(b []byte, minElemSize uint64) (uint64, []byte, error) {
+	n, rest, err := readUv(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest))/minElemSize {
+		return 0, nil, fmt.Errorf("%w: count %d exceeds input", errEnvelope, n)
+	}
+	return n, rest, nil
+}
+
+func readUvStr(b []byte) (string, []byte, error) {
+	n, rest, err := readUv(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds input", errEnvelope, n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"encoding/base64"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"pogo/internal/obs"
 	"pogo/internal/xmpp"
@@ -89,8 +92,16 @@ func (m *XMPPMessenger) connect() error {
 		m.mu.Unlock()
 		recvs.Inc()
 		recvBytes.Add(int64(len(body)))
+		payload := []byte(body)
+		if strings.HasPrefix(body, binaryWrapPrefix) {
+			raw, err := base64.StdEncoding.DecodeString(body[len(binaryWrapPrefix):])
+			if err != nil {
+				return // mangled wrap; the endpoint's CRC would reject it anyway
+			}
+			payload = raw
+		}
 		if fn != nil {
-			fn(from.User(), []byte(body))
+			fn(from.User(), payload)
 		}
 	})
 	c.OnPresence(func(peer xmpp.JID, online bool) {
@@ -172,7 +183,26 @@ func (m *XMPPMessenger) Online() bool {
 	return m.online && !m.closed
 }
 
-// Send implements Messenger.
+// binaryWrapPrefix marks an XMPP body carrying a base64-wrapped binary
+// payload. It cannot collide with an unwrapped frame: those always start
+// with 8 hex digits before the ':' (so their ':' sits at offset 8, not 1).
+const binaryWrapPrefix = "b:"
+
+// needsBinaryWrap reports whether payload cannot travel as XML character
+// data: XML 1.0 forbids most control characters, and binary-codec envelopes
+// are full of them. JSON-codec frames are plain ASCII and pass through
+// unwrapped, byte-for-byte compatible with pre-codec peers.
+func needsBinaryWrap(payload []byte) bool {
+	for _, c := range payload {
+		if c < 0x20 && c != '\t' && c != '\n' && c != '\r' {
+			return true
+		}
+	}
+	return !utf8.Valid(payload)
+}
+
+// Send implements Messenger. Binary payloads are base64-wrapped for the XML
+// stream; text payloads travel as-is.
 func (m *XMPPMessenger) Send(to string, payload []byte) error {
 	m.mu.Lock()
 	c := m.client
@@ -185,12 +215,16 @@ func (m *XMPPMessenger) Send(to string, payload []byte) error {
 		sendErrs.Inc()
 		return ErrOffline
 	}
-	if err := c.SendMessage(xmpp.MakeJID(to), id, string(payload)); err != nil {
+	body := string(payload)
+	if needsBinaryWrap(payload) {
+		body = binaryWrapPrefix + base64.StdEncoding.EncodeToString(payload)
+	}
+	if err := c.SendMessage(xmpp.MakeJID(to), id, body); err != nil {
 		sendErrs.Inc()
 		return err
 	}
 	sends.Inc()
-	sentBytes.Add(int64(len(payload)))
+	sentBytes.Add(int64(len(body)))
 	return nil
 }
 
