@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke stdout-guard
+.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke stdout-guard latency-gate flight-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,8 @@ check: stdout-guard
 	$(MAKE) determinism
 	$(MAKE) fleet
 	$(MAKE) bench-gate
+	$(MAKE) latency-gate
+	$(MAKE) flight-smoke
 
 # fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
 # run e.g. `go test -fuzz FuzzDecode -fuzztime 5m ./internal/msg` for a real
@@ -74,6 +76,35 @@ determinism:
 	@diff -r /tmp/pogo-determinism-a /tmp/pogo-determinism-b \
 		&& echo "determinism: accounting.csv + timeseries.csv byte-identical" \
 		|| (echo "determinism: same-seed runs diverged (see diff above)"; exit 1)
+
+# latency-gate reruns the trace-span delivery-latency SLO benchmark and
+# compares the per-topic p50/p95/p99 against the checked-in
+# BENCH_latency.json. The figures are simulated-time exact per seed, so the
+# comparison is exact too: any drift means the delivery path's timing
+# changed. After an intentional change, refresh the baseline with
+# `go run ./cmd/pogo-bench -run latency` and commit the new JSON.
+latency-gate:
+	$(GO) run ./cmd/pogo-bench -run latency -seed 1 -gate
+
+# flight-smoke forces a chaos audit failure (the post-window drain is
+# sabotaged, so messages stay genuinely in flight) and asserts the flight
+# recorder dumps a loadable span-store snapshot whose in-flight traces
+# reconstruct their publish→deliver paths.
+flight-smoke:
+	@rm -f /tmp/pogo-flight.json
+	@! $(GO) run ./cmd/pogo-bench -run chaos -sabotage-drain -flightout /tmp/pogo-flight.json > /dev/null 2>&1 \
+		|| (echo "flight-smoke: sabotaged run unexpectedly passed its audit"; exit 1)
+	@test -s /tmp/pogo-flight.json \
+		|| (echo "flight-smoke: no dump written"; exit 1)
+	$(GO) run ./cmd/pogo-bench -verify-flight /tmp/pogo-flight.json
+	@echo "flight-smoke: ok"
+
+# trace-demo runs the 50-phone chaos scenario matrix with causal tracing
+# attached and writes the final (heaviest) scenario's span timeline to
+# trace.json — load it at ui.perfetto.dev or chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/pogo-bench -run chaos -seed 1 -traceout trace.json
+	@echo "trace-demo: open trace.json in ui.perfetto.dev (or chrome://tracing)"
 
 # Library packages must never write to stdout/stderr directly — script
 # output goes through core.LogStore and diagnostics through internal/obs.

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos / fleet / hotpath (benchmarks, not part of all)")
+		run        = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos / fleet / hotpath / latency (benchmarks, not part of all)")
 		days       = flag.Int("days", 24, "table4: experiment length in days")
 		seed       = flag.Int64("seed", 1, "table4 / chaos / fleet: world seed")
 		phones     = flag.Int("phones", 0, "chaos / fleet: testbed size (0 = per-benchmark default: 50 chaos, 2000 fleet)")
@@ -38,11 +38,22 @@ func main() {
 		freeze     = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
 		stats      = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
 		csvDir     = flag.String("csv", "", "write accounting.csv, timeseries.csv, and ledger-derived table3.csv/table4.csv into this directory")
-		gate       = flag.Bool("gate", false, "hotpath: compare against the checked-in BENCH_hotpath.json instead of rewriting it; exit 1 on regression")
+		gate       = flag.Bool("gate", false, "hotpath / latency: compare against the checked-in baseline instead of rewriting it; exit 1 on regression")
+		traceOut   = flag.String("traceout", "", "chaos / fleet: write the last run's causal spans as Chrome/Perfetto trace JSON to this file")
+		flightOut  = flag.String("flightout", "pogo-flight.json", "chaos: flight-recorder dump path, written when the delivery audit fails")
+		sabotage   = flag.Bool("sabotage-drain", false, "chaos: disable the post-window drain so the audit genuinely fails — exercises the flight recorder")
+		verifyFl   = flag.String("verify-flight", "", "load a flight-recorder dump, reassemble every span tree, and exit 0 only if all in-flight paths reconstruct")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected run to this file")
 	)
 	flag.Parse()
+	if *verifyFl != "" {
+		if err := runVerifyFlight(*verifyFl); err != nil {
+			fmt.Fprintln(os.Stderr, "pogo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -55,7 +66,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *freeze, *gate, *stats, *csvDir)
+	err := runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *traceOut, *flightOut, *sabotage, *freeze, *gate, *stats, *csvDir)
 	if *memProfile != "" {
 		runtime.GC() // settle the heap so the profile shows retained memory
 		if f, ferr := os.Create(*memProfile); ferr != nil {
@@ -76,7 +87,7 @@ func main() {
 	}
 }
 
-func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog string, freeze, gate, stats bool, csvDir string) error {
+func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog, traceOut, flightOut string, sabotage, freeze, gate, stats bool, csvDir string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 	reg := obs.NewRegistry()
@@ -85,13 +96,16 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 		if phones == 0 {
 			phones = 50
 		}
-		return runChaos(seed, phones)
+		return runChaos(seed, phones, traceOut, flightOut, sabotage)
 	}
 	if which == "fleet" {
-		return runFleet(seed, phones, shards, fleetLog)
+		return runFleet(seed, phones, shards, fleetLog, traceOut)
 	}
 	if which == "hotpath" {
 		return runHotpath(gate)
+	}
+	if which == "latency" {
+		return runLatency(seed, phones, gate)
 	}
 
 	if which == "pubsub" {
@@ -174,7 +188,7 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", which,
-			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub", "chaos", "fleet", "hotpath"}, "|"))
+			strings.Join([]string{"table2", "table3", "table4", "figure3", "figure4", "ablations", "all", "pubsub", "chaos", "fleet", "hotpath", "latency"}, "|"))
 	}
 	if stats {
 		fmt.Println("metrics registry:")
@@ -299,10 +313,25 @@ func writeTable4CSV(dir string, reg *obs.Registry, res experiments.Table4Result)
 // simulated time, so the printed report (and the JSON) is a pure function of
 // the seed: `pogo-bench -run chaos -seed 1` twice gives byte-identical
 // output. Not part of "all": it benchmarks the delivery path, not the paper.
-func runChaos(seed int64, phones int) error {
-	results := make([]experiments.ChaosResult, 0, 3)
-	for _, sc := range experiments.ChaosScenarios(seed) {
+//
+// Each scenario runs with causal tracing attached (which by design cannot
+// change the delivery log — trace IDs are assigned whether or not anyone
+// watches). On an audit failure the span store is dumped to flightOut so the
+// in-flight messages can be explained offline; with sabotage the post-window
+// drain is disabled to force exactly that failure.
+func runChaos(seed int64, phones int, traceOut, flightOut string, sabotage bool) error {
+	scenarios := experiments.ChaosScenarios(seed)
+	if sabotage {
+		sc := scenarios[len(scenarios)-1]
+		sc.Name = "sabotage"
+		sc.Config.DrainIters = -1
+		scenarios = []experiments.ChaosScenario{sc}
+	}
+	results := make([]experiments.ChaosResult, 0, len(scenarios))
+	for _, sc := range scenarios {
+		reg := obs.NewRegistry()
 		sc.Config.Phones = phones
+		sc.Config.Obs = reg
 		res := experiments.Chaos(sc.Name, sc.Config)
 		results = append(results, res)
 		fmt.Printf("chaos %-6s seed=%d phones=%d: %d/%d delivered, lost=%d dup=%d ooo=%d, retries=%d, %.1f deliveries/sim-s\n",
@@ -313,9 +342,22 @@ func runChaos(seed int64, phones int) error {
 			res.NetDelayed, res.PartitionDrops, res.Disconnects)
 		fmt.Printf("  delivery log sha256: %s\n", res.LogSHA256)
 		if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
+			reason := fmt.Sprintf("chaos %s seed=%d audit failed: lost=%d dup=%d ooo=%d undrained=%d",
+				res.Scenario, res.Seed, res.Lost, res.Duplicated, res.OutOfOrder, res.Undrained)
+			dumpFlight(flightOut, reg, reason)
 			return fmt.Errorf("chaos %s violated the delivery guarantee: lost=%d dup=%d ooo=%d undrained=%d",
 				res.Scenario, res.Lost, res.Duplicated, res.OutOfOrder, res.Undrained)
 		}
+		if traceOut != "" {
+			// Last scenario wins: with -traceout the written file holds the
+			// final (heaviest) scenario's causal timeline.
+			if err := writeTraceFile(traceOut, reg); err != nil {
+				return err
+			}
+		}
+	}
+	if sabotage {
+		return nil // a sabotage run proves the recorder; don't touch the baseline
 	}
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -354,7 +396,7 @@ type fleetBench struct {
 // run, and records wall-clock throughput + speedup-vs-1-shard to
 // BENCH_fleet.json. With -fleet-log the merged delivery log of the widest run
 // is written out so `make fleet` can diff two same-seed invocations.
-func runFleet(seed int64, phones, maxShards int, logPath string) error {
+func runFleet(seed int64, phones, maxShards int, logPath, traceOut string) error {
 	if phones == 0 {
 		phones = 2000
 	}
@@ -379,8 +421,16 @@ func runFleet(seed int64, phones, maxShards int, logPath string) error {
 	var baseHash string
 	var baseWall float64
 	var lastLog []string
+	var lastReg *obs.Registry
 	for i, shards := range sweep {
-		res := experiments.Fleet(experiments.FleetScenario(seed, phones, shards))
+		cfg := experiments.FleetScenario(seed, phones, shards)
+		if traceOut != "" {
+			// A fresh registry per run: spans from different shard counts must
+			// not mix (same seed means identical trace IDs across runs).
+			lastReg = obs.NewRegistry()
+			cfg.Obs = lastReg
+		}
+		res := experiments.Fleet(cfg)
 		if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
 			return fmt.Errorf("fleet shards=%d violated the delivery guarantee: lost=%d dup=%d ooo=%d undrained=%d",
 				shards, res.Lost, res.Duplicated, res.OutOfOrder, res.Undrained)
@@ -415,6 +465,11 @@ func runFleet(seed int64, phones, maxShards int, logPath string) error {
 			return err
 		}
 		fmt.Printf("delivery log (%d entries) written to %s\n", len(lastLog), logPath)
+	}
+	if traceOut != "" {
+		if err := writeTraceFile(traceOut, lastReg); err != nil {
+			return err
+		}
 	}
 	b, err := json.MarshalIndent(bench, "", "  ")
 	if err != nil {

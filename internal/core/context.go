@@ -58,6 +58,15 @@ func newContext(n *Node, owner string) *Context {
 		localSubs: make(map[int]*localSub),
 		proxies:   make(map[string]map[int]*proxySub),
 	}
+	// Trace identity is unconditional (not gated on Obs): the IDs it
+	// assigns travel in wire envelopes, so they must not depend on whether
+	// a registry happens to be attached. Per-owner suffix keeps a device's
+	// multiple contexts (one broker each) in disjoint ID spaces.
+	ident := n.cfg.ID
+	if owner != "" {
+		ident += "/" + owner
+	}
+	ctx.broker.SetTraceIdentity(ident, n.cfg.TraceSeed)
 	ctx.broker.Instrument(n.cfg.Obs, n.clk.Now, n.cfg.ID, n.cfg.ObsEntity)
 	n.smgr.AddBroker(ctx.broker)
 	return ctx
@@ -312,7 +321,9 @@ func (c *Context) addProxy(peer string, id int, channel string, params msg.Map) 
 		if ev.Origin != "" {
 			return // never relay remote-originated data (no device↔device paths)
 		}
-		if err := node.ep.Enqueue(peer, channel, ev.Message); err != nil {
+		// EnqueueTraced carries the publication's trace ID into the wire
+		// envelope, so the collector-side fanout joins this span tree.
+		if err := node.ep.EnqueueTraced(peer, channel, ev.Message, ev.Trace); err != nil {
 			return
 		}
 		if node.cfg.FlushPolicy == FlushImmediate {

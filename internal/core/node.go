@@ -120,6 +120,11 @@ type Config struct {
 	// harnesses use it to keep trials apart (e.g. "kpn/pogo") while metric
 	// node labels stay stable.
 	ObsEntity string
+	// TraceSeed seeds deterministic causal trace-ID assignment (broker
+	// publications and transport roots). Independent of Obs: traces ride
+	// the wire whether or not a registry is attached, so enabling
+	// observability never changes a seeded run's bytes.
+	TraceSeed int64
 }
 
 // Node is a running Pogo middleware instance.
@@ -221,11 +226,12 @@ func NewNode(cfg Config) (*Node, error) {
 		return ""
 	})
 	n.ep = transport.NewEndpoint(cfg.Messenger, box, cfg.Clock, transport.EndpointConfig{
-		MaxAge: cfg.MaxMessageAge,
-		Obs:    cfg.Obs,
-		Entity: cfg.ObsEntity,
+		MaxAge:    cfg.MaxMessageAge,
+		Obs:       cfg.Obs,
+		Entity:    cfg.ObsEntity,
+		TraceSeed: cfg.TraceSeed,
 	})
-	n.ep.OnMessage(n.handleMessage)
+	n.ep.OnMessageTraced(n.handleMessage)
 	cfg.Messenger.OnOnline(func() { n.sch.Submit("reconnect-flush", func() { n.Flush() }) })
 	cfg.Messenger.OnPresence(n.handlePresence)
 	if cfg.Privacy != nil {
@@ -444,8 +450,11 @@ func (n *Node) sendControl(peer, channel string, payload msg.Map) {
 	}
 }
 
-// handleMessage dispatches a deduplicated inbound message.
-func (n *Node) handleMessage(from, channel string, payload msg.Value) {
+// handleMessage dispatches a deduplicated inbound message. trace is the
+// wire-propagated trace ID (0 from an untraced peer); application data
+// re-publishes under it so the receiving fanout joins the sender's span
+// tree.
+func (n *Node) handleMessage(from, channel string, payload msg.Value, trace obs.TraceID) {
 	body, _ := payload.(msg.Map)
 	switch channel {
 	case chanHello:
@@ -491,7 +500,7 @@ func (n *Node) handleMessage(from, channel string, payload msg.Value) {
 		if ctx == nil {
 			return
 		}
-		ctx.broker.PublishFrom(channel, msg.FreezeOwned(body), from)
+		ctx.broker.PublishTraced(channel, msg.FreezeOwned(body), from, trace)
 	}
 }
 

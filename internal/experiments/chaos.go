@@ -44,6 +44,12 @@ type ChaosConfig struct {
 	PartitionFrac float64
 
 	RetryAfter time.Duration // endpoint retransmission base; default 15 s
+
+	// DrainIters caps the post-window drain loop (default 600 flush/advance
+	// rounds — ample for every scenario in the matrix). Negative disables
+	// the drain entirely: the flight-recorder smoke uses that to leave
+	// messages genuinely in flight and force an audit failure.
+	DrainIters int
 	Obs        *obs.Registry
 }
 
@@ -134,6 +140,9 @@ func Chaos(name string, cfg ChaosConfig) ChaosResult {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = 15 * time.Second
 	}
+	if cfg.DrainIters == 0 {
+		cfg.DrainIters = 600
+	}
 
 	clk := vclock.NewSim()
 	start := clk.Now()
@@ -161,6 +170,7 @@ func Chaos(name string, cfg ChaosConfig) ChaosResult {
 	collFault := net.Wrap(sb.Port(chaosCollector, nil))
 	collEP := transport.NewEndpoint(collFault, store.OpenMemory(), clk, transport.EndpointConfig{
 		RetryAfter: cfg.RetryAfter, BootID: "chaos-" + chaosCollector, Obs: cfg.Obs,
+		TraceSeed: cfg.Seed,
 	})
 	collEP.OnMessage(func(from, channel string, payload msg.Value) {
 		record(chaosCollector, from, channel, payload)
@@ -176,6 +186,7 @@ func Chaos(name string, cfg ChaosConfig) ChaosResult {
 		faults[i] = f
 		ep := transport.NewEndpoint(f, store.OpenMemory(), clk, transport.EndpointConfig{
 			RetryAfter: cfg.RetryAfter, BootID: "chaos-" + id, Obs: cfg.Obs,
+			TraceSeed: cfg.Seed,
 		})
 		me := id
 		ep.OnMessage(func(from, channel string, payload msg.Value) {
@@ -242,7 +253,14 @@ func Chaos(name string, cfg ChaosConfig) ChaosResult {
 	net.Calm()
 	net.HealAll()
 	undrained := 0
-	for k := 0; k < 600; k++ {
+	if cfg.DrainIters < 0 {
+		// Drain disabled: count what is still in flight without flushing.
+		for _, ep := range phones {
+			undrained += ep.Pending()
+		}
+		undrained += collEP.Pending()
+	}
+	for k := 0; k < cfg.DrainIters; k++ {
 		undrained = flushAll()
 		if undrained == 0 {
 			break

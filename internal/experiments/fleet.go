@@ -210,6 +210,7 @@ func Fleet(cfg FleetConfig) FleetResult {
 		f := net.Wrap(sh.Port(name))
 		ep := transport.NewEndpoint(f, store.OpenMemory(), sh.Clock(), transport.EndpointConfig{
 			RetryAfter: cfg.RetryAfter, BootID: "fleet-" + name, Obs: cfg.Obs,
+			TraceSeed: cfg.Seed,
 		})
 		ep.OnMessage(record(shard, name))
 		var tick func()

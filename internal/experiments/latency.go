@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"pogo/internal/obs"
+)
+
+// LatencyResult reports the per-topic delivery-latency SLO quantiles of one
+// chaos scenario, measured end to end on the causal trace spans: the clock
+// starts at the sender's enqueue hop and stops at the receiver's deliver hop,
+// both on the simulated clock, so every figure is a pure function of the
+// seed and exactly reproducible.
+type LatencyResult struct {
+	Scenario  string             `json:"scenario"`
+	Seed      int64              `json:"seed"`
+	Phones    int                `json:"phones"`
+	SpanHops  int                `json:"span_hops"`
+	SpanDrops uint64             `json:"span_drops"`
+	Topics    []obs.TopicLatency `json:"topics"`
+}
+
+// Latency runs the chaos scenario matrix with causal tracing attached and
+// returns each scenario's per-topic latency quantiles. The delivery audit
+// still applies: a scenario that loses or duplicates traffic fails the run
+// (second return value is that scenario's ChaosResult for diagnosis).
+func Latency(seed int64, phones int) ([]LatencyResult, []ChaosResult) {
+	var out []LatencyResult
+	var runs []ChaosResult
+	for _, sc := range ChaosScenarios(seed) {
+		reg := obs.NewRegistry()
+		sc.Config.Phones = phones
+		sc.Config.Obs = reg
+		res := Chaos(sc.Name, sc.Config)
+		runs = append(runs, res)
+		out = append(out, LatencyResult{
+			Scenario:  sc.Name,
+			Seed:      seed,
+			Phones:    res.Phones,
+			SpanHops:  reg.Spans().Len(),
+			SpanDrops: reg.Spans().Dropped(),
+			Topics:    obs.LatencyReport(reg),
+		})
+	}
+	return out, runs
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"pogo/internal/obs"
+)
+
+// TestChaosLogUnchangedByTracing is the observer-effect regression: trace IDs
+// are assigned and carried on the wire whether or not a registry is watching,
+// so attaching causal tracing must not perturb a single byte of the delivery
+// log. (The failure mode it guards: wire length feeding faultnet's
+// rejection-sampled corruption RNG, so a "harmless" observer shifts every
+// subsequent fault draw.)
+func TestChaosLogUnchangedByTracing(t *testing.T) {
+	cfg := small(ChaosScenarios(42)[2].Config) // heavy: churn + partitions + all faults
+	off := Chaos("heavy", cfg)
+
+	cfg.Obs = obs.NewRegistry()
+	on := Chaos("heavy", cfg)
+	if off.LogSHA256 != on.LogSHA256 {
+		t.Fatalf("tracing changed the delivery log: off=%s on=%s", off.LogSHA256, on.LogSHA256)
+	}
+	if spans := cfg.Obs.Spans(); spans.Len() == 0 {
+		t.Fatal("traced run recorded no span hops")
+	}
+	if rep := obs.LatencyReport(cfg.Obs); len(rep) == 0 {
+		t.Fatal("traced run recorded no delivery-latency histograms")
+	}
+}
+
+// traceExport renders a small fleet run's span store as trace JSON.
+func traceExport(t *testing.T, seed int64, phones, shards int) ([]byte, *obs.Registry, FleetResult) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := smallFleet(seed, phones, shards)
+	cfg.Obs = reg
+	res := Fleet(cfg)
+	if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
+		t.Fatalf("shards=%d violated delivery guarantee: %+v", shards, res)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTraceJSON(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), reg, res
+}
+
+// TestFleetTraceDeterministicAcrossShards: the exported trace.json — every
+// hop of every message's causal path, with simulated-clock timestamps — is
+// byte-identical at 1, 2, and 4 shards. Shard workers race to record hops,
+// but the export is a pure function of the hop set, so the layout cannot
+// leak through. Valid only while nothing was evicted; the test pins that
+// precondition.
+func TestFleetTraceDeterministicAcrossShards(t *testing.T) {
+	const seed, phones = 7, 60
+	ref, refReg, refRes := traceExport(t, seed, phones, 1)
+	if refReg.Spans().Dropped() != 0 {
+		t.Fatalf("span ring overflowed (%d dropped); shrink the scenario", refReg.Spans().Dropped())
+	}
+	if refReg.Spans().Len() == 0 {
+		t.Fatal("no span hops recorded")
+	}
+	for _, shards := range []int{2, 4} {
+		got, reg, res := traceExport(t, seed, phones, shards)
+		if reg.Spans().Dropped() != 0 {
+			t.Fatalf("shards=%d: span ring overflowed", shards)
+		}
+		if res.LogSHA256 != refRes.LogSHA256 {
+			t.Errorf("shards=%d: delivery log diverged", shards)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Errorf("shards=%d: trace.json differs from 1-shard export (%d vs %d bytes)",
+				shards, len(got), len(ref))
+		}
+	}
+}
+
+// TestLatencyDeterministic: the SLO quantiles are a pure function of the
+// seed (they are read off simulated-clock span timestamps).
+func TestLatencyDeterministic(t *testing.T) {
+	run := func() []LatencyResult {
+		var out []LatencyResult
+		for _, sc := range ChaosScenarios(5)[:1] { // light only: keep the test quick
+			reg := obs.NewRegistry()
+			cfg := small(sc.Config)
+			cfg.Obs = reg
+			res := Chaos(sc.Name, cfg)
+			if res.Lost != 0 || res.Undrained != 0 {
+				t.Fatalf("%s violated delivery guarantee: %+v", sc.Name, res)
+			}
+			out = append(out, LatencyResult{Scenario: sc.Name, Topics: obs.LatencyReport(reg)})
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("scenario counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Topics) == 0 {
+			t.Fatalf("%s measured no topics", a[i].Scenario)
+		}
+		for j, ta := range a[i].Topics {
+			tb := b[i].Topics[j]
+			if ta != tb {
+				t.Errorf("%s topic %s drifted between identical runs: %+v vs %+v",
+					a[i].Scenario, ta.Channel, ta, tb)
+			}
+		}
+	}
+}

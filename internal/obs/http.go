@@ -17,6 +17,7 @@ import (
 //	GET /timeseries         — retained time-series samples as JSON (?last=N limits)
 //	GET /trace              — retained lifecycle events as JSON
 //	GET /trace?channel=ch   — events for one channel
+//	GET /trace.pftrace      — span store as Chrome/Perfetto trace.json
 //	GET /stats              — the human-readable text dump (same as -stats)
 //
 // Everything is stdlib-only; point curl, a Prometheus scraper, or pogo-top
@@ -81,6 +82,11 @@ func Handler(r *Registry) http.Handler {
 			Events  []Event `json:"events"`
 		}{t.Dropped(), events})
 	})
+	mux.HandleFunc("/trace.pftrace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		WriteTraceJSON(w, r)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteText(w, r)
@@ -114,6 +120,19 @@ func WriteText(w io.Writer, r *Registry) {
 				mean = h.Sum / float64(h.Count)
 			}
 			fmt.Fprintf(w, "  %-64s count=%d sum=%g mean=%g\n", k, h.Count, h.Sum, mean)
+		}
+	}
+	if t := r.Tracer(); t != nil || r.Spans() != nil {
+		section("tracing")
+		fmt.Fprintf(w, "  %-64s %d\n", "tracer events dropped", t.Dropped())
+		fmt.Fprintf(w, "  %-64s %d\n", "span hops retained", r.Spans().Len())
+		fmt.Fprintf(w, "  %-64s %d\n", "span hops dropped", r.Spans().Dropped())
+	}
+	if slos := LatencyReport(r); len(slos) > 0 {
+		section("delivery latency SLOs (s)")
+		for _, tl := range slos {
+			fmt.Fprintf(w, "  %-44s count=%d p50=%.3f p95=%.3f p99=%.3f\n",
+				tl.Channel, tl.Count, tl.P50, tl.P95, tl.P99)
 		}
 	}
 	if accts := r.Ledger().Snapshot(); len(accts) > 0 {

@@ -246,6 +246,7 @@ type Registry struct {
 	collectors map[int]func()
 	nextID     int
 	tracer     *Tracer
+	spans      *SpanStore
 	ledger     *Ledger
 	series     *SeriesStore
 }
@@ -260,16 +261,25 @@ type metricMeta struct {
 // NewRegistry returns an empty registry with an attached tracer, ledger, and
 // time-series store.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		hists:      make(map[string]*Histogram),
 		meta:       make(map[string]metricMeta),
 		collectors: make(map[int]func()),
 		tracer:     NewTracer(DefaultTraceCapacity),
+		spans:      NewSpanStore(DefaultSpanCapacity),
 		ledger:     NewLedger(),
 		series:     NewSeriesStore(DefaultSeriesCapacity),
 	}
+	// Registered lazily on first eviction; before that, /stats surfaces the
+	// zero drop counts through its dedicated tracing section.
+	r.tracer.OnDrop(func() { r.Counter("trace_dropped_events").Inc() })
+	r.spans.OnDrop(func() { r.Counter("trace_dropped_spans").Inc() })
+	r.spans.latencyFor = func(channel string) *Histogram {
+		return r.Histogram("trace_delivery_latency_seconds", DeliveryLatencyBuckets, L("channel", channel))
+	}
+	return r
 }
 
 // recordMeta stores the family identity for a canonical key. Caller holds
@@ -380,6 +390,15 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Spans returns the registry's causal span store (nil on a nil registry; a
+// nil store is a valid no-op recorder).
+func (r *Registry) Spans() *SpanStore {
+	if r == nil {
+		return nil
+	}
+	return r.spans
 }
 
 // Ledger returns the registry's per-entity resource ledger (nil on a nil

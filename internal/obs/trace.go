@@ -33,6 +33,15 @@ const (
 	StageFanout Stage = "fanout"
 	// StageExpire: the max-age policy purged a buffered message unsent.
 	StageExpire Stage = "expire"
+	// StageRoute: the XMPP switchboard routed a stanza toward an online
+	// recipient (internal/xmpp).
+	StageRoute Stage = "route"
+	// StageOffline: the switchboard parked a stanza in the recipient's
+	// offline queue.
+	StageOffline Stage = "offline"
+	// StageReplay: the switchboard replayed a queued stanza to a recipient
+	// that came back online.
+	StageReplay Stage = "replay"
 )
 
 // Event is one recorded lifecycle step. Seq is a tracer-wide monotonic
@@ -63,8 +72,21 @@ type Tracer struct {
 	cap     int
 	seq     uint64
 	dropped uint64
+	onDrop  func()
 	buf     []Event // ring
 	start   int     // index of oldest event
+}
+
+// OnDrop registers fn to run once per evicted event. NewRegistry uses it to
+// surface evictions as the trace_dropped_events counter so silently
+// truncated traces become visible in /stats. Nil-safe.
+func (t *Tracer) OnDrop(fn func()) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onDrop = fn
+	t.mu.Unlock()
 }
 
 // NewTracer returns a tracer retaining the most recent capacity events
@@ -95,6 +117,9 @@ func (t *Tracer) Record(at time.Time, node, channel string, stage Stage, msgID u
 	t.buf[t.start] = ev
 	t.start = (t.start + 1) % t.cap
 	t.dropped++
+	if t.onDrop != nil {
+		t.onDrop()
+	}
 }
 
 // Events returns the retained events in sequence order.

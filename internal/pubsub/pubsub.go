@@ -44,6 +44,11 @@ type Event struct {
 	// local publication. The core fills this in for messages that crossed
 	// the network boundary so collector scripts can distinguish devices.
 	Origin string
+	// Trace is the message's causal trace ID: assigned at local publish
+	// (when the broker has a trace identity), inherited from the wire for
+	// remote-originated fanout, 0 when untraced. Proxy subscriptions carry
+	// it into the transport so the trace survives the hop.
+	Trace obs.TraceID
 
 	// cow counts lazy copy-on-write clones for the owning broker's metrics
 	// (msg_cow_clones); nil-safe.
@@ -82,6 +87,13 @@ type Broker struct {
 	watchers map[int]*watcher
 	nextID   int
 	obs      *brokerObs // nil until Instrument
+
+	// Trace identity (SetTraceIdentity). Assignment is deliberately
+	// independent of obs: trace IDs ride the wire, so they must be
+	// identical whether or not a registry is attached.
+	traceEntity string // node + "#pub": the derivation entity, precomputed
+	traceSeed   int64
+	traceSeq    uint64 // next local-publication sequence number
 }
 
 // brokerObs bundles the broker's instruments; all fields are nil-safe.
@@ -96,6 +108,7 @@ type brokerObs struct {
 	fanout     *obs.Histogram
 	active     *obs.Gauge
 	tracer     *obs.Tracer
+	spans      *obs.SpanStore
 	ledger     *obs.Ledger
 }
 
@@ -119,6 +132,7 @@ func (b *Broker) Instrument(reg *obs.Registry, now func() time.Time, node, entit
 		fanout:     reg.Histogram("pubsub_fanout_subscribers", obs.CountBuckets, obs.L("node", node)),
 		active:     reg.Gauge("pubsub_subscriptions_active", obs.L("node", node)),
 		tracer:     reg.Tracer(),
+		spans:      reg.Spans(),
 		ledger:     reg.Ledger(),
 	}
 	b.mu.Lock()
@@ -183,12 +197,38 @@ func (b *Broker) Publish(channel string, m msg.Map) int {
 	return b.PublishFrom(channel, m, "")
 }
 
+// SetTraceIdentity enables deterministic trace-ID assignment for local
+// publications: the n-th publish derives obs.NewTraceID(seed, node+"#pub",
+// n). The "#pub" suffix keeps the broker's ID space disjoint from the
+// transport's outbox-ID space on the same node. Call once, before traffic
+// flows; the core wires it for every node regardless of observability so
+// wire bytes never depend on whether a registry is attached.
+func (b *Broker) SetTraceIdentity(node string, seed int64) {
+	b.mu.Lock()
+	b.traceEntity = node + "#pub"
+	b.traceSeed = seed
+	b.mu.Unlock()
+}
+
 // PublishFrom is Publish with an origin annotation; the core uses it for
 // messages arriving from remote nodes.
 func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
+	return b.PublishTraced(channel, m, origin, 0)
+}
+
+// PublishTraced is PublishFrom with explicit trace context: the core passes
+// the wire-propagated trace ID of a remote-originated message so the
+// receiving fanout joins the sender's span tree. trace 0 on a local
+// publication assigns a fresh deterministic ID (when SetTraceIdentity was
+// called); trace 0 with no identity leaves the event untraced.
+func (b *Broker) PublishTraced(channel string, m msg.Map, origin string, trace obs.TraceID) int {
 	b.mu.Lock()
 	o := b.obs
 	subs := b.snapshot(channel)
+	if trace == 0 && origin == "" && b.traceEntity != "" {
+		trace = obs.NewTraceID(b.traceSeed, b.traceEntity, b.traceSeq)
+		b.traceSeq++
+	}
 	b.mu.Unlock()
 
 	wasFrozen := msg.IsFrozen(m)
@@ -224,6 +264,7 @@ func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 			detail += " origin=" + origin
 		}
 		o.tracer.Record(o.now(), o.node, channel, stage, 0, detail)
+		o.spans.Record(o.now(), trace, stage, o.node, channel, 0, detail)
 		if o.ledger != nil {
 			o.ledger.Meter(o.entity, "", channel).AddMessages(1)
 		}
@@ -245,6 +286,7 @@ func (b *Broker) PublishFrom(channel string, m msg.Map, origin string) int {
 			Message: delivery,
 			Params:  s.params,
 			Origin:  origin,
+			Trace:   trace,
 			cow:     cow,
 		})
 	}

@@ -72,6 +72,15 @@ type Messenger interface {
 	Peers() []string
 }
 
+// TraceSender is optionally implemented by messengers that can carry trace
+// context outside the opaque payload (the XMPP adapter stamps the stanza's
+// t attribute so the switchboard can record route/offline/replay hops
+// without parsing envelopes). traces holds the batch's trace IDs in item
+// order; zero entries are untraced.
+type TraceSender interface {
+	SendTraced(to string, payload []byte, traces []obs.TraceID) error
+}
+
 // envelope is the JSON wire format of one switchboard payload: a batch of
 // data messages and/or a set of acknowledgements.
 type envelope struct {
@@ -90,10 +99,14 @@ type envelope struct {
 }
 
 type envelopeItem struct {
-	ID      uint64          `json:"id"`
-	Seq     uint64          `json:"seq"`
-	Channel string          `json:"ch"`
-	Body    json.RawMessage `json:"body"`
+	ID      uint64 `json:"id"`
+	Seq     uint64 `json:"seq"`
+	Channel string `json:"ch"`
+	// Trace is the message's causal trace ID (obs.TraceID), 0 when
+	// untraced. Optional on the wire in both codecs: omitted from JSON when
+	// zero and ignored (as 0) by peers that predate it.
+	Trace uint64          `json:"t,omitempty"`
+	Body  json.RawMessage `json:"body"`
 }
 
 // frame prefixes the payload with its CRC32 ("%08x:" + body). A byte flipped
@@ -162,6 +175,12 @@ type EndpointConfig struct {
 	// zero value is CodecBinary; set CodecJSON for the legacy format.
 	// Receivers accept either codec regardless of this setting.
 	Codec Codec
+	// TraceSeed seeds the deterministic trace-ID derivation for messages
+	// originated at this endpoint (obs.NewTraceID(TraceSeed, localID,
+	// outboxID)). Trace assignment is independent of Obs — the wire bytes
+	// are identical whether or not a registry is attached — so enabling
+	// observability never perturbs a seeded run.
+	TraceSeed int64
 }
 
 // endpointObs bundles the endpoint's instruments. With no registry attached
@@ -170,6 +189,7 @@ type EndpointConfig struct {
 type endpointObs struct {
 	node           string
 	tracer         *obs.Tracer
+	spans          *obs.SpanStore
 	enqueued       *obs.Counter
 	sent           *obs.Counter
 	acked          *obs.Counter
@@ -211,6 +231,7 @@ func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
 		entity:         entity,
 		deviceMeter:    reg.Meter(entity, "", ""),
 		tracer:         reg.Tracer(),
+		spans:          reg.Spans(),
 		enqueued:       reg.Counter("transport_messages_enqueued_total", l),
 		sent:           reg.Counter("transport_messages_sent_total", l),
 		acked:          reg.Counter("transport_messages_acked_total", l),
@@ -232,6 +253,12 @@ func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
 
 func (o *endpointObs) record(at time.Time, channel string, stage obs.Stage, id uint64, detail string) {
 	o.tracer.Record(at, o.node, channel, stage, id, detail)
+}
+
+// span records one causal hop against the message's trace ID; no-op when no
+// registry is attached or the message is untraced.
+func (o *endpointObs) span(at time.Time, trace obs.TraceID, stage obs.Stage, channel string, id uint64, detail string) {
+	o.spans.Record(at, trace, stage, o.node, channel, id, detail)
 }
 
 // chargeChannel books payload bytes on the (entity, "", channel) ledger row;
@@ -306,10 +333,12 @@ type Endpoint struct {
 
 	mu         sync.Mutex
 	onMessage  func(from, channel string, payload msg.Value)
+	onTraced   func(from, channel string, payload msg.Value, trace obs.TraceID)
 	onWire     func(sentBytes, recvBytes int64)
 	peers      map[string]*peerState
 	inflight   map[uint64]sendState
 	nextSeq    map[string]uint64          // seqKey(dest, channel) → next FIFO sequence
+	traceOf    map[uint64]obs.TraceID     // outbox id → inherited (relayed) trace; roots are derived
 	dirty      map[string]map[string]bool // dest → channels whose floor moved by expiry
 	retryTimer vclock.Timer               // pending self-driven retransmission, if any
 	stats      Stats
@@ -341,6 +370,7 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 		peers:    make(map[string]*peerState),
 		inflight: make(map[uint64]sendState),
 		nextSeq:  make(map[string]uint64),
+		traceOf:  make(map[uint64]obs.TraceID),
 		dirty:    make(map[string]map[string]bool),
 		obs:      newEndpointObs(cfg.Obs, m.LocalID(), cfg.Entity),
 	}
@@ -364,6 +394,28 @@ func (e *Endpoint) OnMessage(fn func(from, channel string, payload msg.Value)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.onMessage = fn
+}
+
+// OnMessageTraced sets a delivery handler that additionally receives the
+// message's wire-propagated trace ID (0 from an untraced peer). When set it
+// takes precedence over OnMessage.
+func (e *Endpoint) OnMessageTraced(fn func(from, channel string, payload msg.Value, trace obs.TraceID)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onTraced = fn
+}
+
+// traceForLocked returns the trace ID that travels with outbox entry id:
+// the inherited trace when this endpoint is relaying someone else's message
+// (proxy subscriptions), otherwise the deterministic root ID derived from
+// (TraceSeed, local id, outbox id). Outbox IDs are persisted and monotonic,
+// so a rebooted endpoint re-derives the same roots for replayed entries
+// without storing anything. Caller holds e.mu.
+func (e *Endpoint) traceForLocked(id uint64) obs.TraceID {
+	if t, ok := e.traceOf[id]; ok {
+		return t
+	}
+	return obs.NewTraceID(e.cfg.TraceSeed, e.obs.node, id)
 }
 
 // Stats returns a snapshot of the endpoint's counters.
@@ -426,6 +478,14 @@ func (e *Endpoint) retryWait(attempts int) time.Duration {
 // scratch (the outbox keeps its own copy), so steady-state enqueues generate
 // no wire-encoding garbage.
 func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
+	return e.EnqueueTraced(to, channel, payload, 0)
+}
+
+// EnqueueTraced is Enqueue for a message that continues an existing causal
+// trace (a relayed publication): the inherited trace ID travels in this
+// entry's wire envelope instead of a freshly derived root. trace 0 means
+// "originates here" and derives the root ID.
+func (e *Endpoint) EnqueueTraced(to, channel string, payload msg.Value, trace obs.TraceID) error {
 	bp := wireBufPool.Get().(*[]byte)
 	b, err := e.encodeBody((*bp)[:0], payload)
 	if err != nil {
@@ -451,9 +511,15 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 	}
 	e.nextSeq[seqKey(to, channel)] = seq + 1
 	e.stats.MessagesEnqueued++
+	if trace != 0 {
+		e.traceOf[id] = trace
+	} else {
+		trace = e.traceForLocked(id)
+	}
 	e.mu.Unlock()
 	e.obs.enqueued.Inc()
 	e.obs.record(now, channel, obs.StageEnqueue, id, "to="+to)
+	e.obs.span(now, trace, obs.StageEnqueue, channel, id, "to="+to)
 	return nil
 }
 
@@ -508,9 +574,10 @@ func (e *Endpoint) scheduleRetry(now time.Time) {
 func (e *Endpoint) flush(retryOnly bool) int {
 	now := e.clk.Now()
 	if dropped, err := e.box.PurgeExpired(now, e.cfg.MaxAge); err == nil && len(dropped) > 0 {
+		expTraces := make([]obs.TraceID, len(dropped))
 		e.mu.Lock()
 		e.stats.MessagesExpired += len(dropped)
-		for _, entry := range dropped {
+		for i, entry := range dropped {
 			// The purge moved the channel's floor; mark it so the next
 			// envelope tells the receiver not to wait for the gap.
 			if e.dirty[entry.To] == nil {
@@ -518,10 +585,15 @@ func (e *Endpoint) flush(retryOnly bool) int {
 			}
 			e.dirty[entry.To][entry.Channel] = true
 			delete(e.inflight, entry.ID)
+			expTraces[i] = e.traceForLocked(entry.ID)
+			delete(e.traceOf, entry.ID)
 		}
 		e.mu.Unlock()
 		e.obs.expired.Add(int64(len(dropped)))
 		e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(len(dropped)))
+		for i, entry := range dropped {
+			e.obs.span(now, expTraces[i], obs.StageExpire, entry.Channel, entry.ID, "to="+entry.To)
+		}
 	}
 	if !e.m.Online() {
 		return 0
@@ -576,11 +648,21 @@ func (e *Endpoint) flush(retryOnly bool) int {
 	for _, dest := range dests {
 		entries := elig[dest]
 		env := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID}
-		for _, entry := range entries {
+		var traces []obs.TraceID
+		if len(entries) > 0 {
+			traces = make([]obs.TraceID, len(entries))
+			e.mu.Lock()
+			for i, entry := range entries {
+				traces[i] = e.traceForLocked(entry.ID)
+			}
+			e.mu.Unlock()
+		}
+		for i, entry := range entries {
 			env.Batch = append(env.Batch, envelopeItem{
 				ID:      entry.ID,
 				Seq:     entry.Seq,
 				Channel: entry.Channel,
+				Trace:   uint64(traces[i]),
 				Body:    json.RawMessage(entry.Payload),
 			})
 		}
@@ -611,7 +693,13 @@ func (e *Endpoint) flush(retryOnly bool) int {
 			continue
 		}
 		wire := frameInto(buf)
-		err = e.m.Send(dest, wire) // Send copies; the buffer is ours again
+		// A trace-aware messenger (the XMPP adapter) gets the batch's trace
+		// IDs alongside the payload so it can stamp them on the stanza.
+		if ts, ok := e.m.(TraceSender); ok && len(traces) > 0 {
+			err = ts.SendTraced(dest, wire, traces)
+		} else {
+			err = e.m.Send(dest, wire) // Send copies; the buffer is ours again
+		}
 		wireLen := int64(len(wire))
 		*bp = buf[:0]
 		wireBufPool.Put(bp)
@@ -621,14 +709,16 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		}
 		e.notifyWire(wireLen, 0)
 		retries := 0
+		attempts := make([]int, len(entries))
 		e.mu.Lock()
-		for _, entry := range entries {
+		for i, entry := range entries {
 			st := e.inflight[entry.ID]
 			if st.attempts > 0 {
 				retries++
 			}
 			st.at = now
 			st.attempts++
+			attempts[i] = st.attempts
 			e.inflight[entry.ID] = st
 		}
 		delete(e.dirty, dest)
@@ -646,9 +736,11 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		if len(entries) > 0 {
 			e.obs.batchSize.Observe(float64(len(entries)))
 		}
-		for _, entry := range entries {
+		for i, entry := range entries {
 			e.obs.queueDelay.Observe(now.Sub(entry.Enqueued()).Seconds())
 			e.obs.record(now, entry.Channel, obs.StageSend, entry.ID, "to="+dest)
+			e.obs.span(now, traces[i], obs.StageSend, entry.Channel, entry.ID,
+				"to="+dest+" attempt="+strconv.Itoa(attempts[i]))
 		}
 		sent += len(entries)
 	}
@@ -684,6 +776,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		e.mu.Lock()
 		for _, id := range env.Ack {
 			delete(e.inflight, id)
+			delete(e.traceOf, id)
 		}
 		e.stats.MessagesAcked += len(env.Ack)
 		e.mu.Unlock()
@@ -765,16 +858,18 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		}
 	}
 	handler := e.onMessage
+	handlerT := e.onTraced
 	e.mu.Unlock()
 	e.obs.duplicates.Add(int64(dups))
 	e.obs.received.Add(int64(len(deliver)))
 	for _, item := range deliver {
 		e.obs.chargeChannel(item.Channel, -int64(len(item.Body)))
 	}
-	if e.obs.tracer != nil {
+	if e.obs.tracer != nil || e.obs.spans != nil {
 		at := e.clk.Now()
 		for _, item := range deliver {
 			e.obs.record(at, item.Channel, obs.StageDeliver, item.ID, "from="+sender)
+			e.obs.span(at, obs.TraceID(item.Trace), obs.StageDeliver, item.Channel, item.ID, "from="+sender)
 		}
 	}
 
@@ -796,7 +891,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		wireBufPool.Put(bp)
 	}
 
-	if handler == nil {
+	if handler == nil && handlerT == nil {
 		return
 	}
 	for _, item := range deliver {
@@ -806,6 +901,10 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		if err != nil {
 			continue
 		}
-		handler(sender, item.Channel, v)
+		if handlerT != nil {
+			handlerT(sender, item.Channel, v, obs.TraceID(item.Trace))
+		} else {
+			handler(sender, item.Channel, v)
+		}
 	}
 }

@@ -23,10 +23,19 @@ import (
 //	boot      uvarint length + bytes
 //	batch     uvarint count, then per item:
 //	            id uvarint · seq uvarint · channel (uvarint len + bytes)
+//	            [· trace uvarint, envMagicTraced only]
 //	            · body (uvarint len + bytes, already codec-encoded)
 //	acks      uvarint count + count uvarints
 //	floors    uvarint count + count × (channel uvarint len + bytes,
 //	            floor uvarint), channels sorted (deterministic bytes)
+//
+// Trace context (PR 6) rides as an optional per-item uvarint announced by a
+// second magic byte, envMagicTraced: encoders emit it only when at least one
+// item carries a nonzero trace ID, so untraced envelopes stay byte-identical
+// to the PR 5 format, and decoders that predate tracing simply never see the
+// new magic from an untraced sender. An absent trace field decodes as 0
+// ("untraced") — a no-op downstream — which covers the legacy-JSON interop
+// path too ("t" is omitempty, unknown fields are ignored).
 
 // Codec selects the wire encoding of an endpoint's envelopes and message
 // bodies.
@@ -43,6 +52,10 @@ const (
 // envMagic is the first byte of a binary envelope: 0xB0 | version. It can
 // never begin a JSON envelope ('{') and never appears at offset 0 of one.
 const envMagic = 0xB1
+
+// envMagicTraced marks a binary envelope whose batch items each carry a
+// trailing trace-ID uvarint after the channel.
+const envMagicTraced = 0xB2
 
 var errEnvelope = errors.New("transport: malformed binary envelope")
 
@@ -88,7 +101,18 @@ func appendUvStr(dst []byte, s string) []byte {
 }
 
 func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
-	dst = append(dst, envMagic)
+	traced := false
+	for i := range env.Batch {
+		if env.Batch[i].Trace != 0 {
+			traced = true
+			break
+		}
+	}
+	if traced {
+		dst = append(dst, envMagicTraced)
+	} else {
+		dst = append(dst, envMagic)
+	}
 	dst = appendUvStr(dst, env.From)
 	dst = appendUvStr(dst, env.Boot)
 	dst = binary.AppendUvarint(dst, uint64(len(env.Batch)))
@@ -97,6 +121,9 @@ func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
 		dst = binary.AppendUvarint(dst, it.ID)
 		dst = binary.AppendUvarint(dst, it.Seq)
 		dst = appendUvStr(dst, it.Channel)
+		if traced {
+			dst = binary.AppendUvarint(dst, it.Trace)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(it.Body)))
 		dst = append(dst, it.Body...)
 	}
@@ -121,8 +148,8 @@ func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
 
 // decodeEnvelope parses either envelope encoding, sniffing by first byte.
 func decodeEnvelope(body []byte) (envelope, error) {
-	if len(body) > 0 && body[0] == envMagic {
-		return decodeEnvelopeBinary(body[1:])
+	if len(body) > 0 && (body[0] == envMagic || body[0] == envMagicTraced) {
+		return decodeEnvelopeBinary(body[1:], body[0] == envMagicTraced)
 	}
 	var env envelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -135,8 +162,9 @@ func decodeEnvelope(body []byte) (envelope, error) {
 // alias the input buffer (zero-copy): the buffer is GC-owned by the receive
 // path, never pooled, so held-back items keep it alive exactly as long as
 // needed. Claimed counts and lengths are validated against the remaining
-// bytes before any allocation.
-func decodeEnvelopeBinary(b []byte) (envelope, error) {
+// bytes before any allocation. traced selects the envMagicTraced layout
+// (per-item trace uvarint); an untraced envelope leaves every Trace 0.
+func decodeEnvelopeBinary(b []byte, traced bool) (envelope, error) {
 	var env envelope
 	var err error
 	if env.From, b, err = readUvStr(b); err != nil {
@@ -145,7 +173,11 @@ func decodeEnvelopeBinary(b []byte) (envelope, error) {
 	if env.Boot, b, err = readUvStr(b); err != nil {
 		return envelope{}, err
 	}
-	n, b, err := readCount(b, 4) // id+seq+chlen+bodylen ≥ 4 bytes per item
+	minItem := uint64(4) // id+seq+chlen+bodylen ≥ 4 bytes per item
+	if traced {
+		minItem = 5 // + trace
+	}
+	n, b, err := readCount(b, minItem)
 	if err != nil {
 		return envelope{}, err
 	}
@@ -161,6 +193,11 @@ func decodeEnvelopeBinary(b []byte) (envelope, error) {
 			}
 			if it.Channel, b, err = readUvStr(b); err != nil {
 				return envelope{}, err
+			}
+			if traced {
+				if it.Trace, b, err = readUv(b); err != nil {
+					return envelope{}, err
+				}
 			}
 			var bl uint64
 			if bl, b, err = readUv(b); err != nil {

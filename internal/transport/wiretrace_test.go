@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func traceTestEnvelope() *envelope {
+	return &envelope{
+		From: "phone01",
+		Boot: "boot-1",
+		Batch: []envelopeItem{
+			{ID: 1, Seq: 1, Channel: "upload", Body: json.RawMessage(`{"n":0}`)},
+			{ID: 2, Seq: 2, Channel: "upload", Body: json.RawMessage(`{"n":1}`)},
+		},
+		Ack:    []uint64{7},
+		Floors: map[string]uint64{"upload": 1},
+	}
+}
+
+// TestBinaryEnvelopeUntracedUnchanged: an envelope with no trace IDs must
+// encode to the legacy magic and the exact legacy byte layout, so untraced
+// senders stay bit-compatible with pre-tracing peers (and with the PR 5
+// fuzz corpus).
+func TestBinaryEnvelopeUntracedUnchanged(t *testing.T) {
+	env := traceTestEnvelope()
+	wire := appendEnvelopeBinary(nil, env)
+	if wire[0] != envMagic {
+		t.Fatalf("untraced magic = %#x, want %#x", wire[0], envMagic)
+	}
+	// Re-encoding after a roundtrip reproduces identical bytes.
+	dec, err := decodeEnvelope(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range dec.Batch {
+		if it.Trace != 0 {
+			t.Fatalf("item %d decoded trace %d from an untraced envelope", i, it.Trace)
+		}
+	}
+	if again := appendEnvelopeBinary(nil, &dec); !bytes.Equal(wire, again) {
+		t.Fatal("untraced envelope did not re-encode byte-identically")
+	}
+}
+
+func TestBinaryEnvelopeTraceRoundTrip(t *testing.T) {
+	env := traceTestEnvelope()
+	env.Batch[0].Trace = 0xdeadbeefcafe // mixed: item 1 stays untraced
+	wire := appendEnvelopeBinary(nil, env)
+	if wire[0] != envMagicTraced {
+		t.Fatalf("traced magic = %#x, want %#x", wire[0], envMagicTraced)
+	}
+	dec, err := decodeEnvelope(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*env, dec) {
+		t.Fatalf("roundtrip mismatch:\n  sent %+v\n  got  %+v", *env, dec)
+	}
+	if dec.Batch[0].Trace != 0xdeadbeefcafe || dec.Batch[1].Trace != 0 {
+		t.Fatalf("traces = %d, %d; want mixed values preserved", dec.Batch[0].Trace, dec.Batch[1].Trace)
+	}
+}
+
+// TestJSONEnvelopeTraceInterop covers the legacy wire format in both
+// directions: zero traces vanish from the JSON (old peers see exactly the
+// bytes they always saw), and JSON from an old peer — no "t" field, possibly
+// unknown future fields — decodes with Trace 0 as a no-op.
+func TestJSONEnvelopeTraceInterop(t *testing.T) {
+	env := traceTestEnvelope()
+	wire, err := appendEnvelope(nil, env, CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, []byte(`"t"`)) {
+		t.Fatalf("zero trace leaked into JSON: %s", wire)
+	}
+
+	env.Batch[0].Trace = 42
+	traced, err := appendEnvelope(nil, env, CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(traced, []byte(`"t":42`)) {
+		t.Fatalf("trace missing from JSON: %s", traced)
+	}
+	dec, err := decodeEnvelope(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Batch[0].Trace != 42 || dec.Batch[1].Trace != 0 {
+		t.Fatalf("JSON roundtrip traces = %d, %d; want 42, 0", dec.Batch[0].Trace, dec.Batch[1].Trace)
+	}
+
+	// Old-peer JSON: no trace field, plus a field from a hypothetical future
+	// version. Decode must succeed with Trace 0.
+	oldPeer := []byte(`{"from":"phone01","batch":[{"id":1,"seq":1,"ch":"upload","future":true,"body":{"n":0}}]}`)
+	dec, err = decodeEnvelope(oldPeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Batch) != 1 || dec.Batch[0].Trace != 0 {
+		t.Fatalf("old-peer decode = %+v, want one untraced item", dec.Batch)
+	}
+}
+
+// TestTracedEnvelopeTruncationRejected: the traced layout's per-item minimum
+// size participates in count validation, so a traced header claiming more
+// items than its bytes can hold is rejected before allocation.
+func TestTracedEnvelopeTruncationRejected(t *testing.T) {
+	env := traceTestEnvelope()
+	env.Batch[0].Trace = 99
+	wire := appendEnvelopeBinary(nil, env)
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := decodeEnvelope(wire[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+}

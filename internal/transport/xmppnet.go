@@ -66,6 +66,7 @@ func (m *XMPPMessenger) Instrument(reg *obs.Registry) {
 }
 
 var _ Messenger = (*XMPPMessenger)(nil)
+var _ TraceSender = (*XMPPMessenger)(nil)
 
 // DialXMPP connects to the switchboard and returns a reconnecting messenger.
 func DialXMPP(addr, user, pass, resource string) (*XMPPMessenger, error) {
@@ -204,6 +205,17 @@ func needsBinaryWrap(payload []byte) bool {
 // Send implements Messenger. Binary payloads are base64-wrapped for the XML
 // stream; text payloads travel as-is.
 func (m *XMPPMessenger) Send(to string, payload []byte) error {
+	return m.send(to, payload, "")
+}
+
+// SendTraced implements TraceSender: the batch's trace IDs are stamped on the
+// stanza's t attribute so the switchboard can record route/offline/replay
+// hops without parsing the opaque envelope.
+func (m *XMPPMessenger) SendTraced(to string, payload []byte, traces []obs.TraceID) error {
+	return m.send(to, payload, xmpp.TraceAttr(traces))
+}
+
+func (m *XMPPMessenger) send(to string, payload []byte, trace string) error {
 	m.mu.Lock()
 	c := m.client
 	online := m.online && !m.closed
@@ -219,7 +231,7 @@ func (m *XMPPMessenger) Send(to string, payload []byte) error {
 	if needsBinaryWrap(payload) {
 		body = binaryWrapPrefix + base64.StdEncoding.EncodeToString(payload)
 	}
-	if err := c.SendMessage(xmpp.MakeJID(to), id, body); err != nil {
+	if err := c.SendMessageTraced(xmpp.MakeJID(to), id, body, trace); err != nil {
 		sendErrs.Inc()
 		return err
 	}

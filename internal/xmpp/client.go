@@ -138,6 +138,13 @@ func (c *Client) SendMessage(to JID, id, body string) error {
 	return c.write(messageStanza{To: to.String(), ID: id, Body: body})
 }
 
+// SendMessageTraced is SendMessage with a trace attribute (TraceAttr form)
+// stamped on the stanza so the switchboard can record causal hops. An empty
+// trace emits a stanza byte-identical to SendMessage's.
+func (c *Client) SendMessageTraced(to JID, id, body, trace string) error {
+	return c.write(messageStanza{To: to.String(), ID: id, T: trace, Body: body})
+}
+
 // Roster fetches the user's contact list from the server.
 func (c *Client) Roster() ([]JID, error) {
 	c.mu.Lock()

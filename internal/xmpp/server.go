@@ -58,6 +58,24 @@ type Server struct {
 	obsQueued     *obs.Counter
 	obsResumed    *obs.Counter
 	obsQueueDrops *obs.Counter
+	spans         *obs.SpanStore // nil when cfg.Obs is nil
+}
+
+// switchboardNode is the span node name the server records hops under: the
+// switchboard is a single central entity, not a Pogo node.
+const switchboardNode = "switchboard"
+
+// recordHops records one causal hop per trace ID carried in a stanza's t
+// attribute. The switchboard serves real clients over TCP and has no
+// simulated clock, so hops are stamped with wall time.
+func (s *Server) recordHops(stage obs.Stage, traceAttr, detail string) {
+	if s.spans == nil || traceAttr == "" {
+		return
+	}
+	at := time.Now()
+	for _, tr := range ParseTraceAttr(traceAttr) {
+		s.spans.Record(at, tr, stage, switchboardNode, "", 0, detail)
+	}
 }
 
 // NewServer returns an unstarted server.
@@ -83,6 +101,7 @@ func NewServer(cfg ServerConfig) *Server {
 		s.obsQueued = reg.Counter("xmpp_server_queued_total")
 		s.obsResumed = reg.Counter("xmpp_server_resumed_total")
 		s.obsQueueDrops = reg.Counter("xmpp_server_queue_drops_total")
+		s.spans = reg.Spans()
 	}
 	return s
 }
@@ -383,6 +402,7 @@ func (s *Server) routeMessage(from *session, m messageStanza) {
 		return
 	}
 	s.obsRouted.Inc()
+	s.recordHops(obs.StageRoute, m.T, "to="+toUser)
 }
 
 func (s *Server) bounce(from *session, id, reason string) {
@@ -409,6 +429,7 @@ func (s *Server) queueOffline(user string, m messageStanza) {
 	if dropped {
 		s.obsQueueDrops.Inc()
 	}
+	s.recordHops(obs.StageOffline, m.T, "user="+user)
 }
 
 // replayQueued resumes a fresh session: stanzas queued while the user was
@@ -427,6 +448,7 @@ func (s *Server) replayQueued(sess *session) {
 			return
 		}
 		s.obsResumed.Inc()
+		s.recordHops(obs.StageReplay, m.T, "user="+sess.user)
 	}
 }
 

@@ -13,7 +13,10 @@ package xmpp
 import (
 	"encoding/xml"
 	"fmt"
+	"strconv"
 	"strings"
+
+	"pogo/internal/obs"
 )
 
 // Domain is the default server domain used in JIDs.
@@ -81,13 +84,59 @@ type presenceStanza struct {
 
 // messageStanza is a routed chat message. Pogo puts its JSON envelopes in
 // Body. Type "error" bounces an undeliverable message back to the sender.
+// T optionally carries the causal trace IDs of the enveloped batch
+// (comma-joined hex, see TraceAttr) so the switchboard can record
+// route/offline/replay hops without parsing the opaque body.
 type messageStanza struct {
 	XMLName xml.Name `xml:"message"`
 	From    string   `xml:"from,attr,omitempty"`
 	To      string   `xml:"to,attr"`
 	ID      string   `xml:"id,attr,omitempty"`
 	Type    string   `xml:"type,attr,omitempty"`
+	T       string   `xml:"t,attr,omitempty"`
 	Body    string   `xml:"body"`
+}
+
+// TraceAttr renders a batch's trace IDs as the stanza t attribute:
+// fixed-width lowercase hex, comma-joined, empty when every ID is zero (so
+// untraced senders emit byte-identical stanzas to pre-tracing peers).
+func TraceAttr(traces []obs.TraceID) string {
+	any := false
+	for _, t := range traces {
+		if t != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var sb strings.Builder
+	for i, t := range traces {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// ParseTraceAttr parses a t attribute back into trace IDs; malformed
+// segments decode as 0 (untraced) rather than failing the stanza.
+func ParseTraceAttr(s string) []obs.TraceID {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]obs.TraceID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 64)
+		if err != nil {
+			v = 0
+		}
+		out = append(out, obs.TraceID(v))
+	}
+	return out
 }
 
 // iqStanza carries roster queries.
