@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke stdout-guard latency-gate flight-smoke trace-demo
+.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ check: stdout-guard
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) scenario
 	$(MAKE) determinism
 	$(MAKE) fleet
 	$(MAKE) bench-gate
@@ -43,10 +44,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/msg
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeVsStdlib$$' -fuzztime 10s ./internal/msg
 	$(GO) test -run '^$$' -fuzz 'FuzzBinaryRoundTrip$$' -fuzztime 10s ./internal/msg
+	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse$$' -fuzztime 10s ./internal/scenario
 
-# chaos replays the seeded fault-injection scenario matrix (drop, duplicate,
-# corrupt, delay, partition, churn at three fault levels) under the race
-# detector, then regenerates the BENCH_chaos.json baseline via pogo-bench.
+# chaos replays the seeded fault-injection matrix (drop, duplicate, corrupt,
+# delay, partition, churn at three fault levels) under the race detector,
+# then regenerates the BENCH_chaos.json baseline via pogo-bench. The same
+# matrix is ported to testdata/scenarios/chaos.txtar, which pins the same
+# delivery-log hashes — `make scenario` cross-checks the two.
 chaos:
 	$(GO) test -race -v -run 'Chaos|Soak' ./internal/experiments ./internal/core
 	$(GO) run -race ./cmd/pogo-bench -run chaos -seed 1
@@ -56,8 +60,8 @@ chaos:
 # epoch-barrier engine must make shard parallelism invisible to the
 # simulation. Each invocation additionally hard-fails if the log hash
 # varies across the shard-count sweep (1, 2, 4), and refreshes
-# BENCH_fleet.json. The engine/scenario regression tests run under -race
-# as part of `make test`/`make check` already.
+# BENCH_fleet.json. testdata/scenarios/fleet.txtar pins the same hash, so
+# an intentional baseline refresh must update the archive too.
 fleet:
 	@rm -f /tmp/pogo-fleet-a.log /tmp/pogo-fleet-b.log
 	$(GO) run ./cmd/pogo-bench -run fleet -seed 1 -fleet-log /tmp/pogo-fleet-a.log
@@ -65,6 +69,16 @@ fleet:
 	@cmp /tmp/pogo-fleet-a.log /tmp/pogo-fleet-b.log \
 		&& echo "fleet: delivery logs byte-identical across same-seed runs" \
 		|| (echo "fleet: same-seed runs diverged"; exit 1)
+
+# scenario runs the txtar-scripted testbed suite under the race detector:
+# every archive in internal/scenario/testdata/scenarios executes twice with
+# the same seed and must produce byte-identical transcripts, the ported
+# chaos/fleet archives must reproduce the checked-in bench hashes, and the
+# scenario parsers get their table-driven workout. Then the runner lists the
+# library. Regenerate goldens with `go run ./cmd/pogo-scenario -update`.
+scenario:
+	$(GO) test -race ./internal/scenario
+	$(GO) run ./cmd/pogo-scenario -list
 
 # determinism runs the seeded Table 3 benchmark twice and requires the
 # ledger accounting and simulated-time series exports to be byte-identical:

@@ -119,9 +119,40 @@ const chaosCollector = "collector"
 
 func chaosPhoneName(i int) string { return fmt.Sprintf("phone%02d", i) }
 
-// Chaos runs one seeded scenario and audits every delivery. See ChaosConfig
-// for the knobs; zero-valued fields take the documented defaults.
-func Chaos(name string, cfg ChaosConfig) ChaosResult {
+// ChaosPhoneName is the canonical name of the i-th phone in a chaos world.
+// The scenario DSL uses it to address entities (`kill phone03`).
+func ChaosPhoneName(i int) string { return chaosPhoneName(i) }
+
+// ChaosCollectorName is the chaos world's single collector entity.
+const ChaosCollectorName = chaosCollector
+
+// ChaosWorld is a constructed-but-not-yet-run chaos testbed: the phones,
+// collector, faultnet, and simulated clock of one scenario, exposed so the
+// run can be driven round by round. experiments.Chaos drives it start to
+// finish; the scenario DSL (internal/scenario) interleaves its own commands
+// — partitions, kills, extra publishes — between rounds. Both produce
+// bit-identical results for the same call schedule because every step is a
+// method on this world.
+type ChaosWorld struct {
+	cfg    ChaosConfig
+	clk    *vclock.Sim
+	start  time.Time
+	net    *faultnet.Net
+	coll   *transport.Endpoint
+	phones []*transport.Endpoint
+	faults []*faultnet.Fault
+	stops  []func()
+	log    []string
+	iters  int
+	cut    int
+	undrained int
+}
+
+// NewChaosWorld builds the testbed for one seeded scenario. Zero-valued
+// config fields take the documented defaults. Construction order is part of
+// the determinism contract: it must not change, or same-seed delivery logs
+// (and the pinned BENCH_chaos.json hashes) change with it.
+func NewChaosWorld(cfg ChaosConfig) *ChaosWorld {
 	if cfg.Phones == 0 {
 		cfg.Phones = 50
 	}
@@ -144,162 +175,266 @@ func Chaos(name string, cfg ChaosConfig) ChaosResult {
 		cfg.DrainIters = 600
 	}
 
-	clk := vclock.NewSim()
-	start := clk.Now()
-	sb := transport.NewSwitchboard(clk)
-	net := faultnet.New(clk, faultnet.Config{
+	w := &ChaosWorld{cfg: cfg}
+	w.clk = vclock.NewSim()
+	w.start = w.clk.Now()
+	sb := transport.NewSwitchboard(w.clk)
+	w.net = faultnet.New(w.clk, faultnet.Config{
 		Seed: cfg.Seed,
 		Drop: cfg.Drop, Duplicate: cfg.Duplicate, Corrupt: cfg.Corrupt,
 		MaxDelay: cfg.MaxDelay,
 		Obs:      cfg.Obs,
 	})
 
-	var log []string
-	record := func(at, from, channel string, payload msg.Value) {
-		n := -1
-		if m, ok := payload.(msg.Map); ok {
-			if f, ok := m["n"].(float64); ok {
-				n = int(f)
+	record := func(at string) func(from, channel string, payload msg.Value) {
+		return func(from, channel string, payload msg.Value) {
+			n := -1
+			if m, ok := payload.(msg.Map); ok {
+				if f, ok := m["n"].(float64); ok {
+					n = int(f)
+				}
 			}
+			w.log = append(w.log, fmt.Sprintf("%s <- %s %s %d", at, from, channel, n))
 		}
-		log = append(log, fmt.Sprintf("%s <- %s %s %d", at, from, channel, n))
 	}
 
 	// The collector: a plain (never-churned) port behind the same faultnet,
 	// so its acks and commands suffer the fault mix too.
-	collFault := net.Wrap(sb.Port(chaosCollector, nil))
-	collEP := transport.NewEndpoint(collFault, store.OpenMemory(), clk, transport.EndpointConfig{
+	collFault := w.net.Wrap(sb.Port(chaosCollector, nil))
+	w.coll = transport.NewEndpoint(collFault, store.OpenMemory(), w.clk, transport.EndpointConfig{
 		RetryAfter: cfg.RetryAfter, BootID: "chaos-" + chaosCollector, Obs: cfg.Obs,
 		TraceSeed: cfg.Seed,
 	})
-	collEP.OnMessage(func(from, channel string, payload msg.Value) {
-		record(chaosCollector, from, channel, payload)
-	})
+	w.coll.OnMessage(record(chaosCollector))
 
-	phones := make([]*transport.Endpoint, cfg.Phones)
-	faults := make([]*faultnet.Fault, cfg.Phones)
-	stops := make([]func(), 0, cfg.Phones)
+	w.phones = make([]*transport.Endpoint, cfg.Phones)
+	w.faults = make([]*faultnet.Fault, cfg.Phones)
+	w.stops = make([]func(), 0, cfg.Phones)
 	for i := 0; i < cfg.Phones; i++ {
 		id := chaosPhoneName(i)
 		sb.Associate(id, chaosCollector)
-		f := net.Wrap(sb.Port(id, nil))
-		faults[i] = f
-		ep := transport.NewEndpoint(f, store.OpenMemory(), clk, transport.EndpointConfig{
+		f := w.net.Wrap(sb.Port(id, nil))
+		w.faults[i] = f
+		ep := transport.NewEndpoint(f, store.OpenMemory(), w.clk, transport.EndpointConfig{
 			RetryAfter: cfg.RetryAfter, BootID: "chaos-" + id, Obs: cfg.Obs,
 			TraceSeed: cfg.Seed,
 		})
-		me := id
-		ep.OnMessage(func(from, channel string, payload msg.Value) {
-			record(me, from, channel, payload)
-		})
-		phones[i] = ep
+		ep.OnMessage(record(id))
+		w.phones[i] = ep
 		if cfg.MeanUp > 0 && cfg.MeanDown > 0 {
-			stops = append(stops, net.Churn(f, cfg.MeanUp, cfg.MeanDown))
+			w.stops = append(w.stops, w.net.Churn(f, cfg.MeanUp, cfg.MeanDown))
 		}
 	}
 
-	flushAll := func() int {
-		pending := 0
-		for _, ep := range phones {
-			ep.Flush()
-			pending += ep.Pending()
-		}
-		collEP.Flush()
-		pending += collEP.Pending()
-		return pending
+	w.iters = int(cfg.Window / cfg.Step)
+	if w.iters < 1 {
+		w.iters = 1
 	}
+	w.cut = int(float64(cfg.Phones) * cfg.PartitionFrac)
+	return w
+}
 
-	// Injection window: enqueue traffic on a fixed schedule, flush, advance.
-	iters := int(cfg.Window / cfg.Step)
-	if iters < 1 {
-		iters = 1
-	}
-	cut := int(float64(cfg.Phones) * cfg.PartitionFrac)
-	for k := 0; k < iters; k++ {
-		if cut > 0 && k == iters/3 {
-			for i := 0; i < cut; i++ {
-				net.PartitionPair(chaosPhoneName(i), chaosCollector)
-			}
-		}
-		if cut > 0 && k == 2*iters/3 {
-			net.HealAll()
-		}
-		for i := 0; i < cfg.Phones; i++ {
-			id := chaosPhoneName(i)
-			for j := 0; j < cfg.MessagesPerPhone; j++ {
-				at := (j*iters)/cfg.MessagesPerPhone + i%5 // staggered across phones
-				if at >= iters {
-					at = iters - 1
-				}
-				if at == k {
-					phones[i].Enqueue(chaosCollector, "upload", msg.Map{"n": float64(j)})
-				}
-			}
-			for j := 0; j < cfg.CommandsPerPhone; j++ {
-				if (j*iters)/cfg.CommandsPerPhone == k {
-					collEP.Enqueue(id, "cmd", msg.Map{"n": float64(j)})
-				}
-			}
-		}
-		flushAll()
-		clk.Advance(cfg.Step)
-	}
+// Rounds is the number of injection rounds in the traffic window.
+func (w *ChaosWorld) Rounds() int { return w.iters }
 
-	// Drain: faults off, partitions healed, churned phones reconnected. With
-	// eventual connectivity the retransmission path must deliver everything.
-	for _, stop := range stops {
+// Clock exposes the world's simulated clock.
+func (w *ChaosWorld) Clock() *vclock.Sim { return w.clk }
+
+// Net exposes the world's fault domain (for scripted partitions and
+// mid-run fault-mix changes).
+func (w *ChaosWorld) Net() *faultnet.Net { return w.net }
+
+// Config returns the world's (defaults-resolved) configuration.
+func (w *ChaosWorld) Config() ChaosConfig { return w.cfg }
+
+// EntityNames lists every entity in the world: the collector first, then the
+// phones in index order.
+func (w *ChaosWorld) EntityNames() []string {
+	out := make([]string, 0, len(w.phones)+1)
+	out = append(out, chaosCollector)
+	for i := range w.phones {
+		out = append(out, chaosPhoneName(i))
+	}
+	return out
+}
+
+// Endpoint returns the named entity's transport endpoint, or nil.
+func (w *ChaosWorld) Endpoint(name string) *transport.Endpoint {
+	if name == chaosCollector {
+		return w.coll
+	}
+	for i := range w.phones {
+		if chaosPhoneName(i) == name {
+			return w.phones[i]
+		}
+	}
+	return nil
+}
+
+// Fault returns the named entity's fault wrapper (phones only have churnable
+// faults; the collector's wrapper is returned too), or nil.
+func (w *ChaosWorld) Fault(name string) *faultnet.Fault {
+	for i := range w.phones {
+		if chaosPhoneName(i) == name {
+			return w.faults[i]
+		}
+	}
+	return nil
+}
+
+// Enqueue queues one numbered message from one entity to another; it is
+// recorded in the delivery log like scheduled traffic.
+func (w *ChaosWorld) Enqueue(from, to, channel string, n int) error {
+	ep := w.Endpoint(from)
+	if ep == nil {
+		return fmt.Errorf("chaos: unknown entity %q", from)
+	}
+	ep.Enqueue(to, channel, msg.Map{"n": float64(n)})
+	return nil
+}
+
+// FlushAll flushes every endpoint (phones in index order, collector last)
+// and returns the total still-pending outbox entries.
+func (w *ChaosWorld) FlushAll() int {
+	pending := 0
+	for _, ep := range w.phones {
+		ep.Flush()
+		pending += ep.Pending()
+	}
+	w.coll.Flush()
+	pending += w.coll.Pending()
+	return pending
+}
+
+// Pending is the total outbox entries across all endpoints, without flushing.
+func (w *ChaosWorld) Pending() int {
+	pending := 0
+	for _, ep := range w.phones {
+		pending += ep.Pending()
+	}
+	return pending + w.coll.Pending()
+}
+
+// RunRound executes injection round k: the scheduled partition/heal events
+// (when PartitionFrac is set), this round's staggered enqueues, one flush of
+// every endpoint, and one Step of simulated time.
+func (w *ChaosWorld) RunRound(k int) {
+	cfg := w.cfg
+	if w.cut > 0 && k == w.iters/3 {
+		for i := 0; i < w.cut; i++ {
+			w.net.PartitionPair(chaosPhoneName(i), chaosCollector)
+		}
+	}
+	if w.cut > 0 && k == 2*w.iters/3 {
+		w.net.HealAll()
+	}
+	for i := 0; i < cfg.Phones; i++ {
+		id := chaosPhoneName(i)
+		for j := 0; j < cfg.MessagesPerPhone; j++ {
+			at := (j*w.iters)/cfg.MessagesPerPhone + i%5 // staggered across phones
+			if at >= w.iters {
+				at = w.iters - 1
+			}
+			if at == k {
+				w.phones[i].Enqueue(chaosCollector, "upload", msg.Map{"n": float64(j)})
+			}
+		}
+		for j := 0; j < cfg.CommandsPerPhone; j++ {
+			if (j*w.iters)/cfg.CommandsPerPhone == k {
+				w.coll.Enqueue(id, "cmd", msg.Map{"n": float64(j)})
+			}
+		}
+	}
+	w.FlushAll()
+	w.clk.Advance(cfg.Step)
+}
+
+// Advance moves simulated time forward in Step increments, flushing every
+// endpoint each step — scripted dead time between injection phases.
+func (w *ChaosWorld) Advance(d time.Duration) {
+	for elapsed := time.Duration(0); elapsed < d; elapsed += w.cfg.Step {
+		w.FlushAll()
+		w.clk.Advance(w.cfg.Step)
+	}
+}
+
+// Drain ends the run: churn stops, faults calm, partitions heal, and the
+// flush/advance loop runs until outboxes empty or DrainIters rounds pass.
+// Returns the entries still pending (0 on a healthy run).
+func (w *ChaosWorld) Drain() int {
+	cfg := w.cfg
+	for _, stop := range w.stops {
 		stop()
 	}
-	net.Calm()
-	net.HealAll()
+	w.stops = nil
+	w.net.Calm()
+	w.net.HealAll()
 	undrained := 0
 	if cfg.DrainIters < 0 {
 		// Drain disabled: count what is still in flight without flushing.
-		for _, ep := range phones {
+		for _, ep := range w.phones {
 			undrained += ep.Pending()
 		}
-		undrained += collEP.Pending()
+		undrained += w.coll.Pending()
 	}
 	for k := 0; k < cfg.DrainIters; k++ {
-		undrained = flushAll()
+		undrained = w.FlushAll()
 		if undrained == 0 {
 			break
 		}
-		clk.Advance(cfg.Step)
+		w.clk.Advance(cfg.Step)
 	}
-	clk.Advance(2 * cfg.MaxDelay) // let straggling delayed duplicates land
+	w.clk.Advance(2 * cfg.MaxDelay) // let straggling delayed duplicates land
+	w.undrained = undrained
+	return undrained
+}
 
+// Result audits the delivery log as it stands and summarizes the run. It can
+// be called repeatedly (after each scripted phase) — it only reads state.
+func (w *ChaosWorld) Result(name string) ChaosResult {
+	cfg := w.cfg
 	res := ChaosResult{
 		Scenario: name, Seed: cfg.Seed, Phones: cfg.Phones,
 		MessagesPerPhone: cfg.MessagesPerPhone, CommandsPerPhone: cfg.CommandsPerPhone,
 		Expected:  cfg.Phones * (cfg.MessagesPerPhone + cfg.CommandsPerPhone),
-		Delivered: len(log),
-		Undrained: undrained,
-		Log:       log,
+		Delivered: len(w.log),
+		Undrained: w.undrained,
+		Log:       w.log,
 	}
-	for _, ep := range phones {
+	for _, ep := range w.phones {
 		st := ep.Stats()
 		res.Retries += st.Retries
 		res.CorruptDropped += st.CorruptDropped
 	}
-	cst := collEP.Stats()
+	cst := w.coll.Stats()
 	res.Retries += cst.Retries
 	res.CorruptDropped += cst.CorruptDropped
-	ns := net.Stats()
+	ns := w.net.Stats()
 	res.NetSent, res.NetDropped, res.NetDuplicated = ns.Sent, ns.Dropped, ns.Duplicated
 	res.NetCorrupted, res.NetDelayed = ns.Corrupted, ns.Delayed
 	res.PartitionDrops = ns.PartitionDrops
 	res.Disconnects = ns.Disconnects
 
-	res.Lost, res.Duplicated, res.OutOfOrder = auditChaosLog(log, cfg)
+	res.Lost, res.Duplicated, res.OutOfOrder = auditChaosLog(w.log, cfg)
 
-	res.SimSeconds = clk.Now().Sub(start).Seconds()
+	res.SimSeconds = w.clk.Now().Sub(w.start).Seconds()
 	if res.SimSeconds > 0 {
 		res.DeliveriesPerSec = float64(res.Delivered) / res.SimSeconds
 	}
-	sum := sha256.Sum256([]byte(strings.Join(log, "\n")))
+	sum := sha256.Sum256([]byte(strings.Join(w.log, "\n")))
 	res.LogSHA256 = hex.EncodeToString(sum[:])
 	return res
+}
+
+// Chaos runs one seeded scenario and audits every delivery. See ChaosConfig
+// for the knobs; zero-valued fields take the documented defaults.
+func Chaos(name string, cfg ChaosConfig) ChaosResult {
+	w := NewChaosWorld(cfg)
+	for k := 0; k < w.Rounds(); k++ {
+		w.RunRound(k)
+	}
+	w.Drain()
+	return w.Result(name)
 }
 
 // auditChaosLog checks every (receiver, sender, channel) stream for

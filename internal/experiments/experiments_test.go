@@ -170,19 +170,11 @@ func TestPowerTrialDeliversEverything(t *testing.T) {
 }
 
 func TestTable4SmallRun(t *testing.T) {
+	// The canonical shrunk workload: User A reboots halfway, User B's long
+	// offline stretch ages part of the backlog past the 24 h purge. The
+	// scenario DSL's `table4` command runs this same config.
 	days := 3
-	dur := time.Duration(days) * 24 * time.Hour
-	res, err := Table4(Table4Config{
-		Seed: 1, Days: days,
-		Sessions: []SessionConfig{
-			{User: "User A", DeviceID: "devA", Duration: dur, Seed: 201,
-				Faults: []Fault{{Kind: FaultReboot, At: dur / 2}}},
-			{User: "User B", DeviceID: "devB", Duration: dur, Seed: 202,
-				// Offline for 1.5 days: everything enqueued in the first
-				// ~12 h of the outage ages past the 24 h purge.
-				Faults: []Fault{{Kind: FaultOffline, At: dur / 4, Until: dur * 7 / 8}}},
-		},
-	})
+	res, err := Table4(SmallTable4Config(1, days))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,6 +145,17 @@ func (n *Net) Calm() {
 	n.cfg.Drop, n.cfg.Duplicate, n.cfg.Corrupt, n.cfg.MaxDelay = 0, 0, 0, 0
 }
 
+// SetFaults replaces the live fault probabilities mid-run, leaving the RNG
+// stream, partitions, churn cycles, and counters untouched. The scenario DSL
+// uses it (`inject_fault drop=0.3 delay=200ms`) to script weather changes —
+// a carrier outage clearing up, a congested cell — without rebuilding the
+// world. Calm is equivalent to SetFaults(0, 0, 0, 0).
+func (n *Net) SetFaults(drop, duplicate, corrupt float64, maxDelay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Drop, n.cfg.Duplicate, n.cfg.Corrupt, n.cfg.MaxDelay = drop, duplicate, corrupt, maxDelay
+}
+
 // Partition blocks payloads flowing from → to. It is asymmetric: the reverse
 // direction stays open unless blocked separately.
 func (n *Net) Partition(from, to string) {

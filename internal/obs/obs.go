@@ -316,6 +316,14 @@ func key(name string, labels []Label) string {
 	return sb.String()
 }
 
+// Key renders the canonical instrument identity — name{k1=v1,k2=v2} with
+// label keys sorted — exactly as Snapshot keys its maps. External consumers
+// (the scenario DSL's expect_metric, log scrapers) use it to look up a series
+// without depending on label order.
+func Key(name string, labels ...Label) string {
+	return key(name, labels)
+}
+
 // Counter returns (registering on first use) the counter with this name and
 // label set. Returns nil on a nil registry.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {

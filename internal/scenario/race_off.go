@@ -1,0 +1,6 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled backs the [race] condition prefix: false in a normal build.
+const raceEnabled = false

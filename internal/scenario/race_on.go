@@ -1,0 +1,7 @@
+//go:build race
+
+package scenario
+
+// raceEnabled backs the [race] condition prefix: true when the binary was
+// built with the race detector.
+const raceEnabled = true
