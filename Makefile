@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo
+.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo doctor-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ check: stdout-guard
 	$(MAKE) bench-gate
 	$(MAKE) latency-gate
 	$(MAKE) flight-smoke
+	$(MAKE) doctor-smoke
 
 # fuzz-smoke gives the coverage-guided fuzzers a brief shake on every check;
 # run e.g. `go test -fuzz FuzzDecode -fuzztime 5m ./internal/msg` for a real
@@ -112,6 +113,15 @@ flight-smoke:
 		|| (echo "flight-smoke: no dump written"; exit 1)
 	$(GO) run ./cmd/pogo-bench -verify-flight /tmp/pogo-flight.json
 	@echo "flight-smoke: ok"
+
+# doctor-smoke is the alerting end-to-end check: pogo-doctor builds a short
+# chaos world with a rigged duplicate delivery, serves its registry over
+# loopback HTTP, and runs its own health battery against it. The smoke passes
+# only if the battery detects trouble AND the expected rules are firing —
+# proving the rule pack, the /alerts endpoint, and the doctor's checks agree.
+doctor-smoke:
+	$(GO) run ./cmd/pogo-doctor -selftest -expect exactly_once_violation,delivery_latency_slo
+	@echo "doctor-smoke: ok"
 
 # trace-demo runs the 50-phone chaos scenario matrix with causal tracing
 # attached and writes the final (heaviest) scenario's span timeline to

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -34,23 +35,30 @@ func main() {
 		id        = flag.String("id", "researcher", "collector identity")
 		password  = flag.String("password", "pogo", "account password")
 		scriptDir = flag.String("scripts", "", "directory of experiment scripts (required)")
-		metrics   = flag.String("metrics", "", "serve /metrics, /trace, /stats on this address (e.g. 127.0.0.1:8623); empty disables")
+		metrics   = flag.String("metrics", "", "serve /metrics, /trace, /alerts, /stats on this address (e.g. 127.0.0.1:8623); empty disables")
+		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty disables")
 	)
 	flag.Parse()
 	if *scriptDir == "" {
 		fmt.Fprintln(os.Stderr, "pogo-collector: -scripts is required")
 		os.Exit(1)
 	}
-	if err := run(*server, *id, *password, *scriptDir, *metrics); err != nil {
+	if err := run(*server, *id, *password, *scriptDir, *metrics, *pprofAt); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, id, password, scriptDir, metricsAddr string) error {
+func run(server, id, password, scriptDir, metricsAddr, pprofAddr string) error {
 	var reg *obs.Registry
 	if metricsAddr != "" {
 		reg = obs.NewRegistry()
+		// Live collector: the full rule pack (RealTime rules included)
+		// evaluates on every real-clock sampling tick, and the runtime
+		// sampler contributes goroutine/heap/GC gauges.
+		reg.Alerts().EnsureDefaultRules()
+		stopRuntime := obs.StartRuntimeSampler(reg)
+		defer stopRuntime()
 	}
 	messenger, err := transport.DialXMPP(server, id, password, "pc")
 	if err != nil {
@@ -94,7 +102,23 @@ func run(server, id, password, scriptDir, metricsAddr string) error {
 				fmt.Fprintln(os.Stderr, "pogo-collector: metrics:", err)
 			}
 		}()
-		fmt.Printf("pogo-collector: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries)\n", metricsAddr)
+		fmt.Printf("pogo-collector: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries, alerts on /alerts)\n", metricsAddr)
+	}
+	if pprofAddr != "" {
+		// Flag-guarded profiler on its own mux and address — never exposed
+		// implicitly alongside the metrics endpoints.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "pogo-collector: pprof:", err)
+			}
+		}()
+		fmt.Printf("pogo-collector: pprof on http://%s/debug/pprof/\n", pprofAddr)
 	}
 
 	entries, err := os.ReadDir(scriptDir)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +26,19 @@ import (
 	"pogo/internal/vclock"
 	"pogo/internal/xmpp"
 )
+
+// pprofMux builds a mux serving the net/http/pprof endpoints. The profiler
+// is flag-guarded and bound to its own address: profiling a production
+// switchboard is an explicit operator decision, never an accidental default.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 type associations []string
 
@@ -39,23 +53,30 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:5222", "TCP listen address")
 		autoReg = flag.Bool("auto-register", true, "create accounts on first login (the paper's zero-registration model)")
-		metrics = flag.String("metrics", "", "serve /metrics, /trace, /stats on this address (e.g. 127.0.0.1:8622); empty disables")
+		metrics = flag.String("metrics", "", "serve /metrics, /trace, /alerts, /stats on this address (e.g. 127.0.0.1:8622); empty disables")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 		offline = flag.Int("offline-queue", 64, "stanzas buffered per offline user and replayed on the next session; 0 bounces instead")
 		assoc   associations
 	)
 	flag.Var(&assoc, "associate", "researcher=dev1,dev2 (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *autoReg, *metrics, *offline, assoc); err != nil {
+	if err := run(*addr, *autoReg, *metrics, *pprofAt, *offline, assoc); err != nil {
 		fmt.Fprintln(os.Stderr, "pogo-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, autoReg bool, metricsAddr string, offlineQueue int, assoc associations) error {
+func run(addr string, autoReg bool, metricsAddr, pprofAddr string, offlineQueue int, assoc associations) error {
 	var reg *obs.Registry
 	if metricsAddr != "" {
 		reg = obs.NewRegistry()
+		// Live server: rules evaluate on the real clock (every sampling
+		// tick), including the RealTime ones deterministic runs mute; the
+		// runtime sampler adds goroutine/heap/GC gauges to every snapshot.
+		reg.Alerts().EnsureDefaultRules()
+		stopRuntime := obs.StartRuntimeSampler(reg)
+		defer stopRuntime()
 	}
 	srv := xmpp.NewServer(xmpp.ServerConfig{
 		Addr: addr, AllowAutoRegister: autoReg, OfflineQueue: offlineQueue, Obs: reg,
@@ -87,7 +108,15 @@ func run(addr string, autoReg bool, metricsAddr string, offlineQueue int, assoc 
 				fmt.Fprintln(os.Stderr, "pogo-server: metrics:", err)
 			}
 		}()
-		fmt.Printf("pogo-server: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries)\n", metricsAddr)
+		fmt.Printf("pogo-server: metrics on http://%s/metrics (accounting on /accounting, series on /timeseries, alerts on /alerts)\n", metricsAddr)
+	}
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, pprofMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "pogo-server: pprof:", err)
+			}
+		}()
+		fmt.Printf("pogo-server: pprof on http://%s/debug/pprof/\n", pprofAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -2,6 +2,9 @@
 // pogo-server or pogo-collector's /accounting endpoint and renders a live
 // per-entity table — which device, script, and channel is spending the
 // joules, bytes, and CPU wake-ups (§6's per-script resource accounting).
+// Pending and firing health alerts from /alerts are shown as a banner above
+// the table. A failed poll is retried with capped exponential backoff rather
+// than killing the display.
 //
 // Usage:
 //
@@ -37,45 +40,71 @@ func main() {
 	}
 }
 
+// maxBackoff caps the retry delay when the polled node is unreachable.
+const maxBackoff = 30 * time.Second
+
 func run(addr string, interval time.Duration, once bool) error {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	url := addr
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
 	}
-	url = strings.TrimSuffix(url, "/") + "/accounting"
+	base = strings.TrimSuffix(base, "/")
+	accountURL := base + "/accounting"
+	alertsURL := base + "/alerts"
 
-	cur, err := fetch(url)
-	if err != nil {
-		return err
-	}
 	if once {
+		cur, err := fetch(accountURL)
+		if err != nil {
+			return err
+		}
+		// Alerts are best-effort here: a node without a registry still
+		// serves /accounting.
+		alerts, _ := fetchAlerts(alertsURL)
+		if banner := obs.RenderAlerts(alerts); banner != "" {
+			fmt.Print(banner, "\n")
+		}
 		fmt.Print(obs.RenderTop(nil, cur, 0))
 		return nil
 	}
+
 	var prev []obs.AccountSnapshot
-	prevAt := time.Now()
+	var prevAt time.Time
+	backoff := interval
 	for {
+		cur, err := fetch(accountURL)
+		if err != nil {
+			// A dead poll is a transient, not a fatal: say so in one line
+			// and retry with capped exponential backoff.
+			fmt.Fprintf(os.Stderr, "pogo-top: %s unreachable (%v); retrying in %v\n",
+				base, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = interval
+		alerts, _ := fetchAlerts(alertsURL)
+
 		// Until a second snapshot exists there is no interval to rate
 		// against; dt=0 renders the rate columns as "-".
-		dt := time.Since(prevAt)
-		if prev == nil {
-			dt = 0
+		var dt time.Duration
+		if prev != nil {
+			dt = time.Since(prevAt)
 		}
 		// Clear and home, then redraw — the classic top(1) loop.
 		fmt.Printf("\033[2J\033[H")
 		fmt.Printf("pogo-top  %s  %s  (poll every %v, ctrl-c quits)\n\n",
-			url, time.Now().Format("15:04:05"), interval)
+			accountURL, time.Now().Format("15:04:05"), interval)
+		if banner := obs.RenderAlerts(alerts); banner != "" {
+			fmt.Print(banner, "\n")
+		}
 		fmt.Print(obs.RenderTop(prev, cur, dt))
 		prev, prevAt = cur, time.Now()
 		time.Sleep(interval)
-		next, err := fetch(url)
-		if err != nil {
-			return err
-		}
-		cur = next
 	}
 }
 
@@ -98,4 +127,25 @@ func fetch(url string) ([]obs.AccountSnapshot, error) {
 		return nil, fmt.Errorf("decode %s: %w", url, err)
 	}
 	return payload.Accounts, nil
+}
+
+// fetchAlerts pulls the rule states from /alerts; pending and firing rules
+// become the banner above the entity table.
+func fetchAlerts(url string) ([]obs.AlertSnapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var payload struct {
+		Alerts []obs.AlertSnapshot `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return payload.Alerts, nil
 }

@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,18 +44,39 @@ func main() {
 		verbose  = flag.Bool("v", true, "print script output")
 		hide     = flag.String("hide", "", "comma-separated channels the owner does NOT share (e.g. location,wifi-scan)")
 		stats    = flag.Bool("stats", false, "dump the metrics registry on shutdown")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6062); empty disables")
 	)
 	flag.Parse()
-	if err := run(*server, *id, *password, *stateDir, *seed, *verbose, *hide, *stats); err != nil {
+	if err := run(*server, *id, *password, *stateDir, *seed, *verbose, *hide, *stats, *pprofAt); err != nil {
 		fmt.Fprintln(os.Stderr, "pogod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, id, password, stateDir string, seed int64, verbose bool, hide string, stats bool) error {
+func run(server, id, password, stateDir string, seed int64, verbose bool, hide string, stats bool, pprofAddr string) error {
 	var reg *obs.Registry
 	if stats {
 		reg = obs.NewRegistry()
+		// The shutdown dump should cover the process itself, not just the
+		// middleware: fold goroutine/heap/GC gauges into the registry.
+		stopRuntime := obs.StartRuntimeSampler(reg)
+		defer stopRuntime()
+	}
+	if pprofAddr != "" {
+		// Flag-guarded profiler on its own mux — a device node never exposes
+		// debug endpoints unless the operator asks.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "pogod: pprof:", err)
+			}
+		}()
+		fmt.Printf("pogod: pprof on http://%s/debug/pprof/\n", pprofAddr)
 	}
 	privacy := core.NewPrivacy()
 	for _, ch := range strings.Split(hide, ",") {

@@ -281,7 +281,15 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 
 	if cfg.Obs != nil {
-		n.obsCancel = cfg.Obs.OnCollect(n.exportUsage)
+		// Every snapshot also refreshes the node's outbox depth, so the
+		// collector_backpressure alert rule (and pogo-top) see live backlog
+		// without the node pushing a gauge on its hot path.
+		backlog := cfg.Obs.Gauge("node_outbox_pending", obs.L("node", cfg.ID))
+		usageCancel := cfg.Obs.OnCollect(func() {
+			n.exportUsage()
+			backlog.Set(float64(n.Pending()))
+		})
+		n.obsCancel = usageCancel
 	}
 
 	switch cfg.Mode {

@@ -146,6 +146,12 @@ type ChaosWorld struct {
 	iters  int
 	cut    int
 	undrained int
+
+	// Online exactly-once bookkeeping: the end-of-run audit catches
+	// violations after the fact, but alert rules need them as they happen.
+	// Keyed like auditChaosLog streams (receiver|sender|channel).
+	seenSeqs map[string]map[int]bool
+	lastSeq  map[string]int
 }
 
 // NewChaosWorld builds the testbed for one seeded scenario. Zero-valued
@@ -175,8 +181,18 @@ func NewChaosWorld(cfg ChaosConfig) *ChaosWorld {
 		cfg.DrainIters = 600
 	}
 
-	w := &ChaosWorld{cfg: cfg}
+	w := &ChaosWorld{cfg: cfg, seenSeqs: make(map[string]map[int]bool), lastSeq: make(map[string]int)}
 	w.clk = vclock.NewSim()
+	if cfg.Obs != nil {
+		// Health evaluation rides the sampling path: observe() is called at
+		// the end of every round/step, so alert state advances at
+		// deterministic simulated instants. Deterministic mode mutes
+		// RealTime (wall-clock) rules — the alert log must be a pure
+		// function of the seed.
+		alerts := cfg.Obs.Alerts()
+		alerts.SetDeterministic(true)
+		alerts.EnsureDefaultRules()
+	}
 	w.start = w.clk.Now()
 	sb := transport.NewSwitchboard(w.clk)
 	w.net = faultnet.New(w.clk, faultnet.Config{
@@ -195,6 +211,7 @@ func NewChaosWorld(cfg ChaosConfig) *ChaosWorld {
 				}
 			}
 			w.log = append(w.log, fmt.Sprintf("%s <- %s %s %d", at, from, channel, n))
+			w.trackDelivery(at, from, channel, n)
 		}
 	}
 
@@ -315,6 +332,44 @@ func (w *ChaosWorld) Pending() int {
 	return pending + w.coll.Pending()
 }
 
+// trackDelivery updates the online exactly-once bookkeeping for one recorded
+// delivery and charges violations to the delivery_violations_total counters.
+// Pure bookkeeping: it never touches the clock, the net, or the log.
+func (w *ChaosWorld) trackDelivery(at, from, channel string, n int) {
+	if n < 0 {
+		return
+	}
+	key := at + "|" + from + "|" + channel
+	seen := w.seenSeqs[key]
+	if seen == nil {
+		seen = make(map[int]bool)
+		w.seenSeqs[key] = seen
+		w.lastSeq[key] = -1
+	}
+	if seen[n] {
+		w.cfg.Obs.Counter("delivery_violations_total", obs.L("kind", "duplicate")).Inc()
+	} else if n < w.lastSeq[key] {
+		w.cfg.Obs.Counter("delivery_violations_total", obs.L("kind", "out_of_order")).Inc()
+	}
+	seen[n] = true
+	if n > w.lastSeq[key] {
+		w.lastSeq[key] = n
+	}
+}
+
+// observe publishes the world's health gauges and takes one registry sample
+// at the current simulated instant, which also steps the alert engine. It
+// adds no simulated events and sends no messages, so delivery logs — and
+// their pinned SHA-256 baselines — are unaffected: alerting is a pure
+// observer. No-op without a registry.
+func (w *ChaosWorld) observe() {
+	if w.cfg.Obs == nil {
+		return
+	}
+	w.cfg.Obs.Gauge("outbox_pending").Set(float64(w.Pending()))
+	w.cfg.Obs.Sample(w.clk.Now(), "chaos")
+}
+
 // RunRound executes injection round k: the scheduled partition/heal events
 // (when PartitionFrac is set), this round's staggered enqueues, one flush of
 // every endpoint, and one Step of simulated time.
@@ -347,6 +402,7 @@ func (w *ChaosWorld) RunRound(k int) {
 	}
 	w.FlushAll()
 	w.clk.Advance(cfg.Step)
+	w.observe()
 }
 
 // Advance moves simulated time forward in Step increments, flushing every
@@ -355,6 +411,7 @@ func (w *ChaosWorld) Advance(d time.Duration) {
 	for elapsed := time.Duration(0); elapsed < d; elapsed += w.cfg.Step {
 		w.FlushAll()
 		w.clk.Advance(w.cfg.Step)
+		w.observe()
 	}
 }
 
@@ -383,9 +440,11 @@ func (w *ChaosWorld) Drain() int {
 			break
 		}
 		w.clk.Advance(cfg.Step)
+		w.observe()
 	}
 	w.clk.Advance(2 * cfg.MaxDelay) // let straggling delayed duplicates land
 	w.undrained = undrained
+	w.observe()
 	return undrained
 }
 

@@ -171,6 +171,15 @@ func Fleet(cfg FleetConfig) FleetResult {
 		cfg.DrainLimit = 15 * time.Minute
 	}
 
+	if cfg.Obs != nil {
+		// Same contract as the chaos world: alert evaluation happens at
+		// deterministic simulated instants (epoch barriers below), and
+		// RealTime rules — barrier_stall is wall-clock — are muted so the
+		// alert log stays a pure function of the seed at any shard count.
+		alerts := cfg.Obs.Alerts()
+		alerts.SetDeterministic(true)
+		alerts.EnsureDefaultRules()
+	}
 	eng := fleet.NewEngine(fleet.Config{
 		Shards:    cfg.Shards,
 		Lookahead: cfg.Latency,
@@ -262,10 +271,27 @@ func Fleet(cfg FleetConfig) FleetResult {
 	var memBefore, memAfter runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	wall0 := time.Now()
+	// Health sampling rides the epoch barrier: the done callback runs with
+	// every shard worker parked, so counter totals are identical across runs
+	// and shard counts. Per-epoch sampling would be wasteful (and the engine
+	// runs thousands of epochs), so sample on a coarse simulated cadence.
+	const obsEvery = 30 * time.Second
+	nextObs := start.Add(obsEvery)
 	stats := eng.Run(cfg.Window+cfg.DrainLimit, func(now time.Time) bool {
 		delivered := 0
 		for _, l := range logs {
 			delivered += len(l)
+		}
+		if cfg.Obs != nil && !now.Before(nextObs) {
+			pending := 0
+			for _, ep := range endpoints {
+				pending += ep.Pending()
+			}
+			cfg.Obs.Gauge("outbox_pending").Set(float64(pending))
+			cfg.Obs.Sample(now, "fleet")
+			for !now.Before(nextObs) {
+				nextObs = nextObs.Add(obsEvery)
+			}
 		}
 		if delivered < expected {
 			return false

@@ -18,6 +18,8 @@ import (
 //	GET /trace              — retained lifecycle events as JSON
 //	GET /trace?channel=ch   — events for one channel
 //	GET /trace.pftrace      — span store as Chrome/Perfetto trace.json
+//	GET /alerts             — alert rules, states, and transition log as JSON
+//	GET /alerts?format=prom — firing/pending rules as Prometheus ALERTS samples
 //	GET /stats              — the human-readable text dump (same as -stats)
 //
 // Everything is stdlib-only; point curl, a Prometheus scraper, or pogo-top
@@ -87,6 +89,29 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 		WriteTraceJSON(w, r)
 	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, req *http.Request) {
+		e := r.Alerts()
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			e.WriteAlertsProm(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		alerts := e.Snapshot()
+		if alerts == nil {
+			alerts = []AlertSnapshot{}
+		}
+		log := e.Log()
+		if log == nil {
+			log = []AlertEvent{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Alerts []AlertSnapshot `json:"alerts"`
+			Log    []AlertEvent    `json:"log"`
+		}{alerts, log})
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteText(w, r)
@@ -133,6 +158,25 @@ func WriteText(w io.Writer, r *Registry) {
 		for _, tl := range slos {
 			fmt.Fprintf(w, "  %-44s count=%d p50=%.3f p95=%.3f p99=%.3f\n",
 				tl.Channel, tl.Count, tl.P50, tl.P95, tl.P99)
+		}
+	}
+	if snaps := r.Alerts().Snapshot(); len(snaps) > 0 {
+		active := 0
+		for _, a := range snaps {
+			if a.State != AlertInactive {
+				active++
+			}
+		}
+		if active > 0 {
+			section("alerts")
+			for _, a := range snaps {
+				if a.State == AlertInactive {
+					continue
+				}
+				fmt.Fprintf(w, "  %-44s %s severity=%s value=%s since=%s\n",
+					a.Rule.Name, a.State, a.Rule.Severity,
+					formatAlertNum(a.Value), a.Since.UTC().Format("2006-01-02T15:04:05Z07:00"))
+			}
 		}
 	}
 	if accts := r.Ledger().Snapshot(); len(accts) > 0 {

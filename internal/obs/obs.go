@@ -249,6 +249,7 @@ type Registry struct {
 	spans      *SpanStore
 	ledger     *Ledger
 	series     *SeriesStore
+	alerts     *AlertEngine
 }
 
 // metricMeta remembers the structured identity behind a canonical key so the

@@ -200,7 +200,10 @@ func StartSampling(clk vclock.Clock, r *Registry, interval time.Duration, tag st
 }
 
 // Sample takes one snapshot (running collect hooks) at the given instant and
-// appends it to the series store. No-op on a nil registry.
+// appends it to the series store, then evaluates the alert rules against it.
+// On a simulated clock the alert state machines therefore advance at
+// deterministic instants, making the alert log a pure function of the seed.
+// No-op on a nil registry.
 func (r *Registry) Sample(at time.Time, tag string) {
 	if r == nil {
 		return
@@ -213,4 +216,8 @@ func (r *Registry) Sample(at time.Time, tag string) {
 		Gauges:     snap.Gauges,
 		Histograms: snap.Histograms,
 	})
+	r.mu.Lock()
+	alerts := r.alerts
+	r.mu.Unlock()
+	alerts.evaluate(at, snap)
 }

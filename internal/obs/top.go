@@ -63,6 +63,31 @@ func RenderTop(prev, cur []AccountSnapshot, dt time.Duration) string {
 	return sb.String()
 }
 
+// RenderAlerts formats the non-inactive alerts as the banner pogo-top shows
+// above the entity table: one line per pending/firing rule, firing first.
+// Empty string when everything is healthy.
+func RenderAlerts(alerts []AlertSnapshot) string {
+	var firing, pending []AlertSnapshot
+	for _, a := range alerts {
+		switch a.State {
+		case AlertFiring:
+			firing = append(firing, a)
+		case AlertPending:
+			pending = append(pending, a)
+		}
+	}
+	if len(firing)+len(pending) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, a := range append(firing, pending...) {
+		fmt.Fprintf(&sb, "ALERT %-8s %-28s severity=%-8s value=%s\n",
+			strings.ToUpper(a.State.String()), clip(a.Rule.Name, 28),
+			a.Rule.Severity, formatAlertNum(a.Value))
+	}
+	return sb.String()
+}
+
 // clip shortens s to width runes with a trailing ellipsis.
 func clip(s string, width int) string {
 	if len(s) <= width {

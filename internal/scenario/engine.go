@@ -227,6 +227,12 @@ func (st *state) dispatch(c Command) error {
 		return st.cmdExpectLogCount(c)
 	case "audit_exactly_once":
 		return st.cmdAudit(c)
+	case "expect_alert":
+		return st.cmdExpectAlert(c, true)
+	case "expect_no_alert":
+		return st.cmdExpectAlert(c, false)
+	case "save_alert_log":
+		return st.cmdSaveAlertLog(c)
 	}
 	return c.Errf("unknown command")
 }
@@ -1113,6 +1119,63 @@ func (st *state) cmdAudit(c Command) error {
 			formatNum(lost), formatNum(dup), formatNum(ooo))
 	}
 	st.printf("audit_exactly_once: ok\n")
+	return nil
+}
+
+// --- alerts ---
+
+// cmdExpectAlert asserts the current state of one alert rule. Alert
+// evaluation happens on the simulated clock (chaos rounds, fleet epoch
+// barriers), so the assertion is deterministic: a rule either always fires at
+// this point of the script for this seed, or never does.
+//
+//	expect_alert <rule> [state=firing|pending]   — rule is in that state
+//	expect_no_alert <rule>                       — rule is inactive
+func (st *state) cmdExpectAlert(c Command, wantActive bool) error {
+	pos, kv, err := kvArgs(c, 1, "state")
+	if err != nil {
+		return err
+	}
+	engine := st.reg.Alerts()
+	state, ok := engine.State(pos[0])
+	if !ok {
+		return c.Errf("no alert rule %q is installed (rules load when a world comes up)", pos[0])
+	}
+	if !wantActive {
+		if len(kv) != 0 {
+			return c.Errf("expect_no_alert takes no options")
+		}
+		if state != obs.AlertInactive {
+			return c.Errf("alert %q is %s, want inactive", pos[0], state)
+		}
+		st.printf("expect_no_alert: %s ok\n", pos[0])
+		return nil
+	}
+	want := obs.AlertFiring
+	switch kv["state"] {
+	case "", "firing":
+	case "pending":
+		want = obs.AlertPending
+	default:
+		return c.Errf("bad state=%q (want firing or pending)", kv["state"])
+	}
+	if state != want {
+		return c.Errf("alert %q is %s, want %s", pos[0], state, want)
+	}
+	st.printf("expect_alert: %s %s ok\n", pos[0], want)
+	return nil
+}
+
+// cmdSaveAlertLog captures the alert transition log as a named output, so
+// match_file can pin exactly which rules fired and in what order — the alert
+// analogue of save_log.
+func (st *state) cmdSaveAlertLog(c Command) error {
+	if len(c.Args) != 1 {
+		return c.Errf("want: save_alert_log <name>")
+	}
+	log := st.reg.Alerts().FormatLog()
+	st.outputs[c.Args[0]] = []byte(log)
+	st.printf("save_alert_log: %s (%d events)\n", c.Args[0], strings.Count(log, "\n"))
 	return nil
 }
 
