@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate check chaos determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo doctor-smoke
+.PHONY: build test bench bench-gate check chaos connscale connscale-smoke determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo doctor-smoke
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,27 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # bench-gate reruns the hot-path microbenchmarks (broker fanout, msg codecs,
-# transport round trip) and compares them against the checked-in
-# BENCH_hotpath.json: B/op or allocs/op more than 15% worse than the baseline
-# fails the build (allocation counts are machine-independent, so a real
-# increase is a code regression); ns/op deltas are printed but advisory.
-# After an intentional change, refresh the baseline with
-# `go run ./cmd/pogo-bench -run hotpath` and commit the new JSON.
+# transport round trip — single-connection and with 1000 live connections)
+# and compares them against the checked-in BENCH_hotpath.json: B/op or
+# allocs/op more than 15% worse than the baseline fails the build
+# (allocation counts are machine-independent, so a real increase is a code
+# regression); ns/op deltas are printed but advisory. After an intentional
+# change, refresh the baseline with `go run ./cmd/pogo-bench -run hotpath`
+# and commit the new JSON.
 bench-gate:
 	$(GO) run ./cmd/pogo-bench -run hotpath -gate
+
+# connscale records the connections-vs-throughput sweep (1k/10k/100k
+# simulated concurrent XMPP connections through memnet, each a full
+# reliable-transport endpoint) as connscale_<n>_conns rows merged into
+# BENCH_hotpath.json. connscale-smoke is the CI-sized version `make check`
+# runs: a small fleet, verify-only — every message delivered exactly once,
+# outboxes drained, baseline untouched.
+connscale:
+	$(GO) run ./cmd/pogo-bench -run connscale
+
+connscale-smoke:
+	$(GO) run ./cmd/pogo-bench -run connscale -conns 2000 -gate
 
 # check is the tier-1 gate: vet, the full test suite under the race
 # detector, the library-stdout guard, a short fuzz smoke of the wire-facing
@@ -32,6 +45,7 @@ check: stdout-guard
 	$(MAKE) determinism
 	$(MAKE) fleet
 	$(MAKE) bench-gate
+	$(MAKE) connscale-smoke
 	$(MAKE) latency-gate
 	$(MAKE) flight-smoke
 	$(MAKE) doctor-smoke

@@ -1,0 +1,178 @@
+package main
+
+// The connection-scaling harness. `pogo-bench -run connscale -conns N`
+// drives N simulated concurrent XMPP connections — one memnet switchboard
+// port plus a full reliable-transport endpoint per phone, all funneling into
+// a single collector — and measures delivery throughput as the connection
+// count grows. Each sweep point becomes a connscale_<n>_conns row in
+// BENCH_hotpath.json (ns, B, allocs per delivered message), sitting next to
+// the per-op transport_roundtrip row so the two baselines travel together.
+// runHotpath preserves these rows when it rewrites the file, and the bench
+// gate treats them like any other row when both sides have them.
+//
+// With -gate the sweep only verifies the exactly-once contract at scale
+// (every message delivered, none duplicated, outboxes drained) and leaves
+// the baseline file untouched — that is the CI smoke mode `make
+// connscale-smoke` uses with a small -conns.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"pogo/internal/store"
+	"pogo/internal/transport"
+	"pogo/internal/vclock"
+)
+
+// connscaleWaves is how many messages each connection sends, as separate
+// enqueue→flush→deliver→ack rounds, so per-connection steady state (dedup
+// cursors, sequence maps, retry timers) is exercised rather than first-touch
+// cost only.
+const connscaleWaves = 3
+
+// connscaleSweep picks the sweep points for a target connection count: the
+// decades below it plus the target itself, so one run records the whole
+// connections-vs-throughput curve.
+func connscaleSweep(conns int) []int {
+	var sweep []int
+	for _, n := range []int{1000, 10000, 100000} {
+		if n < conns {
+			sweep = append(sweep, n)
+		}
+	}
+	return append(sweep, conns)
+}
+
+// connscaleRun builds an n-connection world and measures one full send
+// matrix through it. Returns the hotpath-style row plus the wall-clock
+// throughput in delivered messages per second.
+func connscaleRun(n int) (hotpathResult, float64, error) {
+	clk := vclock.NewSim()
+	sw := transport.NewSwitchboard(clk)
+	collector := transport.NewEndpoint(sw.Port("collector", nil), store.OpenMemory(), clk,
+		transport.EndpointConfig{BootID: "connscale"})
+	delivered := 0
+	collector.OnMessage(func(string, string, any) { delivered++ })
+
+	phones := make([]*transport.Endpoint, n)
+	for i := range phones {
+		name := "d" + strconv.Itoa(i)
+		sw.Associate(name, "collector")
+		phones[i] = transport.NewEndpoint(sw.Port(name, nil), store.OpenMemory(), clk,
+			transport.EndpointConfig{BootID: "connscale"})
+	}
+	payload := hotpathPayload()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for w := 0; w < connscaleWaves; w++ {
+		for _, p := range phones {
+			if err := p.Enqueue("collector", "bench", payload); err != nil {
+				return hotpathResult{}, 0, err
+			}
+		}
+		for _, p := range phones {
+			p.Flush()
+		}
+		clk.Advance(2 * time.Second) // wire latency + acks for the whole wave
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	want := connscaleWaves * n
+	if delivered != want {
+		return hotpathResult{}, 0, fmt.Errorf("connscale %d conns: delivered %d of %d", n, delivered, want)
+	}
+	if d := collector.Stats().Duplicates; d != 0 {
+		return hotpathResult{}, 0, fmt.Errorf("connscale %d conns: %d duplicate deliveries", n, d)
+	}
+	pending := 0
+	for _, p := range phones {
+		pending += p.Pending()
+	}
+	if pending != 0 {
+		return hotpathResult{}, 0, fmt.Errorf("connscale %d conns: %d messages unacked after drain", n, pending)
+	}
+
+	msgs := float64(want)
+	row := hotpathResult{
+		Name:        "connscale_" + strconv.Itoa(n) + "_conns",
+		NsPerOp:     float64(elapsed.Nanoseconds()) / msgs,
+		BytesPerOp:  int64(float64(m1.TotalAlloc-m0.TotalAlloc) / msgs),
+		AllocsPerOp: int64(float64(m1.Mallocs-m0.Mallocs) / msgs),
+	}
+	return row, msgs / elapsed.Seconds(), nil
+}
+
+// runConnscale sweeps the connection counts up to conns. verifyOnly (the
+// -gate flag) skips the baseline write: CI smoke asserts the delivery
+// contract at scale without touching committed files.
+func runConnscale(conns int, verifyOnly bool) error {
+	if conns <= 0 {
+		conns = 100000
+	}
+	sweep := connscaleSweep(conns)
+	if verifyOnly {
+		// Smoke mode measures just the requested count; the sweep decades
+		// below it add nothing to the contract check.
+		sweep = []int{conns}
+	}
+	rows := make([]hotpathResult, 0, len(sweep))
+	for _, n := range sweep {
+		row, throughput, err := connscaleRun(n)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-24s %12.1f ns/msg %10d B/msg %8d allocs/msg %12.0f msgs/s\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, throughput)
+	}
+	if verifyOnly {
+		fmt.Printf("connscale: %d connections, exactly-once contract held, baseline untouched\n", conns)
+		return nil
+	}
+	if err := mergeHotpathRows(rows); err != nil {
+		return err
+	}
+	fmt.Printf("connscale rows merged into %s\n", hotpathFileName)
+	return nil
+}
+
+// mergeHotpathRows read-modify-writes BENCH_hotpath.json: rows with the same
+// name are replaced in place, new rows are appended, everything else —
+// including the microbenchmark suite's rows — is preserved verbatim.
+func mergeHotpathRows(rows []hotpathResult) error {
+	var file hotpathFile
+	if data, err := os.ReadFile(hotpathFileName); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("corrupt baseline %s: %v", hotpathFileName, err)
+		}
+	}
+	for _, row := range rows {
+		replaced := false
+		for i := range file.Results {
+			if file.Results[i].Name == row.Name {
+				file.Results[i] = row
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			file.Results = append(file.Results, row)
+		}
+	}
+	if file.Note == "" {
+		file.Note = "hot-path baseline; `pogo-bench -run hotpath -gate` (make bench-gate) fails on >15% B/op or allocs/op regressions"
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(hotpathFileName, append(b, '\n'), 0o644)
+}

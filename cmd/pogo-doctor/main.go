@@ -171,10 +171,22 @@ func checkBacklog(snap obs.Snapshot) check {
 	return check{"PASS", "outbox backlog", fmt.Sprintf("%.0f messages pending", pending)}
 }
 
-// checkDataFlow looks for evidence any message has ever arrived.
+// checkDataFlow looks for evidence any message has ever arrived — and for
+// frames that arrived but were thrown away by the CRC check (mangled base64
+// wraps, flipped bytes in flight). Corrupt drops with no surviving traffic
+// mean the node is receiving garbage, not nothing.
 func checkDataFlow(snap obs.Snapshot) check {
-	if n := sumCounters(snap, "transport_messages_received_total"); n > 0 {
+	n := sumCounters(snap, "transport_messages_received_total")
+	corrupt := sumCounters(snap, "transport_corrupt_dropped_total")
+	switch {
+	case n > 0 && corrupt > 0:
+		return check{"WARN", "data flow",
+			fmt.Sprintf("%d messages received, %d corrupt frames dropped", n, corrupt)}
+	case n > 0:
 		return check{"PASS", "data flow", fmt.Sprintf("%d messages received", n)}
+	case corrupt > 0:
+		return check{"FAIL", "data flow",
+			fmt.Sprintf("every inbound frame corrupt: %d dropped, 0 delivered", corrupt)}
 	}
 	return check{"WARN", "data flow", "no messages received yet (idle node, or nothing deployed)"}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"unicode/utf8"
+	"unsafe"
 )
 
 // Compact binary message codec: the wire format for the transport and fleet
@@ -73,7 +74,9 @@ func EncodeBinary(v Value) ([]byte, error) {
 	bp := encBufPool.Get().(*[]byte)
 	buf, err := AppendBinary((*bp)[:0], v)
 	if err != nil {
-		*bp = buf[:0]
+		// AppendBinary returns a nil slice on error: keep the buffer the
+		// pool slot already had instead of clobbering it with nil, which
+		// would silently re-allocate on every future Get.
 		encBufPool.Put(bp)
 		return nil, err
 	}
@@ -166,7 +169,7 @@ var keysPool = sync.Pool{
 // beyond maxJSONDepth, and any length or count exceeding the bytes that
 // remain — malformed or hostile input errors out before large allocations.
 func DecodeBinary(data []byte) (Value, error) {
-	v, rest, err := decodeBinary(data, 0)
+	v, rest, err := decodeBinary(data, 0, false)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +179,41 @@ func DecodeBinary(data []byte) (Value, error) {
 	return v, nil
 }
 
-func decodeBinary(data []byte, depth int) (Value, []byte, error) {
+// DecodeBinaryFrozen parses a binary-codec value for the delivery hot path:
+// map keys are interned, string values alias the input buffer instead of
+// being copied out, and a map root is frozen in place, ready to share across
+// subscribers. The returned value RETAINS data — the caller must not modify
+// the buffer after the call (hand the decoder its own copy, as the transport
+// receive path does).
+func DecodeBinaryFrozen(data []byte) (Value, error) {
+	// Byte-identical bodies decode to the same immutable tree; a memo hit
+	// skips the whole decode. Retransmissions and unchanged periodic
+	// readings make exact duplicates common.
+	if v, ok := cachedFrozen(data); ok {
+		return v, nil
+	}
+	v, rest, err := decodeBinary(data, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes of trailing data", ErrBinary, len(rest))
+	}
+	if m, ok := v.(Map); ok {
+		// FreezeOwned refuses (returns the map unfrozen) when hostile input
+		// already carries an ordinary entry under the marker key — content
+		// always wins over the optimization.
+		fm := FreezeOwned(m)
+		if IsFrozen(fm) {
+			// Only genuinely frozen (immutable, shareable) roots are memoized.
+			storeFrozen(data, fm)
+		}
+		return fm, nil
+	}
+	return v, nil
+}
+
+func decodeBinary(data []byte, depth int, alias bool) (Value, []byte, error) {
 	if depth > maxJSONDepth {
 		return nil, nil, fmt.Errorf("%w: nesting too deep", ErrBinary)
 	}
@@ -202,15 +239,15 @@ func decodeBinary(data []byte, depth int) (Value, []byte, error) {
 			// null); hostile bits get the same treatment on the way in.
 			return nil, data[8:], nil
 		}
-		return f, data[8:], nil
+		return boxFloat(f), data[8:], nil
 	case tagInt:
 		n, sz := binary.Varint(data)
 		if sz <= 0 {
 			return nil, nil, fmt.Errorf("%w: bad varint", ErrBinary)
 		}
-		return float64(n), data[sz:], nil
+		return boxFloat(float64(n)), data[sz:], nil
 	case tagString:
-		s, rest, err := decodeBinaryString(data)
+		s, rest, err := decodeBinaryStr(data, alias)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -232,7 +269,7 @@ func decodeBinary(data []byte, depth int) (Value, []byte, error) {
 				e   Value
 				err error
 			)
-			e, data, err = decodeBinary(data, depth+1)
+			e, data, err = decodeBinary(data, depth+1, alias)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -249,18 +286,24 @@ func decodeBinary(data []byte, depth int) (Value, []byte, error) {
 		if n > uint64(len(data))/2 {
 			return nil, nil, fmt.Errorf("%w: map count %d exceeds input", ErrBinary, n)
 		}
-		out := make(Map, n)
+		// Alias mode over-hints by one so the root map can absorb the freeze
+		// marker without a rehash.
+		hint := n
+		if alias {
+			hint++
+		}
+		out := make(Map, hint)
 		for i := uint64(0); i < n; i++ {
 			var (
 				k   string
 				v   Value
 				err error
 			)
-			k, data, err = decodeBinaryString(data)
+			k, data, err = decodeBinaryKey(data, alias)
 			if err != nil {
 				return nil, nil, err
 			}
-			v, data, err = decodeBinary(data, depth+1)
+			v, data, err = decodeBinary(data, depth+1, alias)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -272,24 +315,66 @@ func decodeBinary(data []byte, depth int) (Value, []byte, error) {
 	}
 }
 
-// decodeBinaryString reads uvarint length + bytes. The string is the one
-// copy the decoder makes: it must outlive the frame buffer. Invalid UTF-8
-// is coerced to U+FFFD exactly like the JSON codec, so the two wire formats
-// can never disagree about string content.
-func decodeBinaryString(data []byte) (string, []byte, error) {
+// decodeBinaryStr reads uvarint length + bytes. In copy mode the string is
+// the one copy the decoder makes: it must outlive the frame buffer. In alias
+// mode the string shares the input buffer's backing array (the caller
+// guaranteed the buffer is retained and immutable). Invalid UTF-8 is coerced
+// to U+FFFD exactly like the JSON codec, so the two wire formats can never
+// disagree about string content.
+func decodeBinaryStr(data []byte, alias bool) (string, []byte, error) {
+	raw, rest, err := decodeBinaryRaw(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if !utf8.Valid(raw) {
+		return fixUTF8(raw), rest, nil
+	}
+	if alias {
+		return aliasString(raw), rest, nil
+	}
+	return string(raw), rest, nil
+}
+
+// decodeBinaryKey reads a map key. In alias mode keys are interned: sensor
+// payloads repeat the same few keys forever, so after first sight a key
+// costs no allocation at all and every frozen message shares one canonical
+// copy.
+func decodeBinaryKey(data []byte, alias bool) (string, []byte, error) {
+	raw, rest, err := decodeBinaryRaw(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if !utf8.Valid(raw) {
+		return fixUTF8(raw), rest, nil
+	}
+	if alias {
+		return Intern(raw), rest, nil
+	}
+	return string(raw), rest, nil
+}
+
+// decodeBinaryRaw bounds-checks a uvarint length prefix and returns the raw
+// byte span plus the remainder.
+func decodeBinaryRaw(data []byte) (raw, rest []byte, err error) {
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return "", nil, fmt.Errorf("%w: bad string length", ErrBinary)
+		return nil, nil, fmt.Errorf("%w: bad string length", ErrBinary)
 	}
 	data = data[sz:]
 	if n > uint64(len(data)) {
-		return "", nil, fmt.Errorf("%w: string length %d exceeds input", ErrBinary, n)
+		return nil, nil, fmt.Errorf("%w: string length %d exceeds input", ErrBinary, n)
 	}
-	raw := data[:n]
-	if !utf8.Valid(raw) {
-		return fixUTF8(raw), data[n:], nil
+	return data[:n], data[n:], nil
+}
+
+// aliasString reinterprets b as a string without copying. Callers must
+// guarantee b's backing array is never written again — the alias-decode
+// contract.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
 	}
-	return string(raw), data[n:], nil
+	return unsafe.String(&b[0], len(b))
 }
 
 // Decode parses either codec, sniffing by the first byte: binary tags are
@@ -303,4 +388,33 @@ func Decode(data []byte) (Value, error) {
 		return DecodeBinary(data)
 	}
 	return DecodeJSON(data)
+}
+
+// DecodeFrozen is Decode for the delivery path: the same codec sniff, but a
+// map result arrives already frozen and the binary path aliases strings into
+// data instead of copying them out. data must not be modified after the
+// call. Legacy JSON input still pays the copying decoder; only the freeze is
+// added there.
+func DecodeFrozen(data []byte) (Value, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBinary)
+	}
+	if data[0] <= binaryMaxTag {
+		return DecodeBinaryFrozen(data)
+	}
+	if v, ok := cachedFrozen(data); ok {
+		return v, nil
+	}
+	v, err := DecodeJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := v.(Map); ok {
+		fm := FreezeOwned(m)
+		if IsFrozen(fm) {
+			storeFrozen(data, fm)
+		}
+		return fm, nil
+	}
+	return v, nil
 }

@@ -1,0 +1,196 @@
+// Bounded string interning and boxed-float caching for the frozen decode
+// path.
+//
+// Wire decoding is dominated by small heap objects: every map key is copied
+// out of the frame buffer, and every numeric value boxes a fresh float64
+// when it lands in an interface. Sensor payloads are wildly repetitive —
+// the same handful of keys ("level", "voltage", "bssid", ...) and a small
+// working set of numeric readings arrive millions of times — so both costs
+// are cacheable. The interner keeps one canonical copy of each key seen on
+// the wire (bounded, copy-on-write, lock-free reads); the float cache keeps
+// one boxed interface per recently seen bit pattern. Neither cache is ever
+// invalidated: strings and boxed floats are immutable, so a stale entry is
+// merely unused, never wrong.
+package msg
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// internCap bounds the interner so hostile wire input cannot grow it without
+// limit. Past the cap, misses fall back to a plain copy — correctness is
+// unaffected, only dedup stops.
+const internCap = 8192
+
+// internTable is a copy-on-write string set: readers Load an immutable map
+// and do one allocation-free lookup (the compiler elides the []byte→string
+// conversion in `m[string(b)]`); writers buffer new entries in a pending map
+// under a mutex and publish a merged clone only when pending has grown to a
+// fraction of the published size. Cloning on every miss would cost O(n) per
+// insert — O(n²) to fill the table, which a fleet of fresh node names does in
+// one burst — whereas geometric publication keeps the total clone work linear
+// while the read path stays lock-free. Entries parked in pending are still
+// deduplicated (miss checks pending before inserting); they just pay the
+// mutex until the next publish.
+type internTable struct {
+	mu      sync.Mutex
+	m       atomic.Pointer[map[string]string]
+	pending map[string]string
+}
+
+var interner internTable
+
+// Intern returns a canonical string equal to string(b). The canonical copy
+// is shared across all callers, so repeated wire keys cost zero allocations
+// after first sight. Safe for concurrent use.
+func Intern(b []byte) string {
+	if m := interner.m.Load(); m != nil {
+		if s, ok := (*m)[string(b)]; ok {
+			return s
+		}
+	}
+	return interner.miss(string(b))
+}
+
+// InternString is Intern for input already held as a string.
+func InternString(s string) string {
+	if m := interner.m.Load(); m != nil {
+		if hit, ok := (*m)[s]; ok {
+			return hit
+		}
+	}
+	return interner.miss(s)
+}
+
+func (t *internTable) miss(s string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.m.Load()
+	published := 0
+	if old != nil {
+		if hit, ok := (*old)[s]; ok {
+			return hit
+		}
+		published = len(*old)
+	}
+	if hit, ok := t.pending[s]; ok {
+		return hit
+	}
+	if published+len(t.pending) >= internCap {
+		return s
+	}
+	if t.pending == nil {
+		t.pending = make(map[string]string, 64)
+	}
+	t.pending[s] = s
+	// Publish once pending reaches an eighth of the published size: small
+	// tables publish every miss (so steady-state keys reach the lock-free map
+	// immediately), while a burst of fresh strings — a fleet's worth of new
+	// node names — batches up. Each publish clones published+pending entries,
+	// so the geometric threshold bounds total clone work at O(cap) instead of
+	// the O(cap²) a clone-per-miss table costs.
+	if len(t.pending)*8 < published {
+		return s
+	}
+	next := make(map[string]string, published+len(t.pending))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	for k, v := range t.pending {
+		next[k] = v
+	}
+	t.m.Store(&next)
+	t.pending = nil
+	return s
+}
+
+// internLen reports the current table size, counting entries not yet
+// published to the lock-free map (tests only).
+func internLen() int {
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	n := len(interner.pending)
+	if m := interner.m.Load(); m != nil {
+		n += len(*m)
+	}
+	return n
+}
+
+// floatBoxes is a direct-mapped cache of boxed float64 interface values,
+// indexed by a Fibonacci hash of the bit pattern. A hit returns the shared
+// box with no allocation; a miss boxes once and overwrites the slot. Boxed
+// floats are immutable, so sharing one box across goroutines and messages
+// is safe.
+var floatBoxes [4096]atomic.Value
+
+// boxFloat returns f as an interface value, reusing a cached box when the
+// same bit pattern was seen recently.
+func boxFloat(f float64) Value {
+	bits := math.Float64bits(f)
+	idx := (bits * 0x9e3779b97f4a7c15) >> 52 // top 12 bits of a Fibonacci hash
+	if v := floatBoxes[idx].Load(); v != nil {
+		if g, ok := v.(float64); ok && math.Float64bits(g) == bits {
+			return v
+		}
+	}
+	var v Value = f // the one boxing allocation on a miss
+	floatBoxes[idx].Store(v)
+	return v
+}
+
+// frozenBody memoizes one decoded frozen tree keyed by its exact wire bytes.
+// Frozen trees are deeply immutable and shareable by contract (the broker
+// already hands one tree to every subscriber), so two byte-identical bodies
+// may legally decode to the same tree. Duplicate bodies are common in
+// practice — retransmissions after a cut connection, fleet-wide identical
+// config pushes, and periodic sensors whose readings have not changed — and
+// a hit skips the decode entirely: zero allocations, zero copies.
+type frozenBody struct {
+	data []byte
+	v    Value
+}
+
+// frozenBodyMax bounds how large a body the cache will retain; each slot
+// pins its bytes (DecodeFrozen callers hand over the buffer), so huge blobs
+// stay out.
+const frozenBodyMax = 4096
+
+var bodyCache [512]atomic.Pointer[frozenBody]
+
+func bodySlot(b []byte) *atomic.Pointer[frozenBody] {
+	// FNV-1a over the body; bodies are small (frozenBodyMax caps retention
+	// and lookups bail on oversized input before hashing).
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return &bodyCache[h&511]
+}
+
+// cachedFrozen returns the memoized frozen tree for these exact bytes, if
+// one is present.
+func cachedFrozen(data []byte) (Value, bool) {
+	if len(data) > frozenBodyMax {
+		return nil, false
+	}
+	if p := bodySlot(data).Load(); p != nil && bytes.Equal(p.data, data) {
+		return p.v, true
+	}
+	return nil, false
+}
+
+// storeFrozen memoizes a frozen tree under its wire bytes. Callers must only
+// pass trees that are actually frozen (sharing a mutable tree would be
+// unsound) and data the caller owns per the DecodeFrozen contract.
+func storeFrozen(data []byte, v Value) {
+	if len(data) > frozenBodyMax {
+		return
+	}
+	bodySlot(data).Store(&frozenBody{data: data, v: v})
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -175,13 +176,31 @@ func (o *Outbox) Ack(ids ...uint64) error {
 
 // Pending returns all buffered entries in ID (FIFO) order.
 func (o *Outbox) Pending() []Entry {
+	return o.PendingInto(nil)
+}
+
+// PendingInto is Pending with caller-supplied scratch: entries are appended
+// into buf[:0] and the (possibly grown) slice is returned. Hot paths that
+// flush repeatedly reuse one scratch slice and reach steady-state zero
+// allocations here.
+func (o *Outbox) PendingInto(buf []Entry) []Entry {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]Entry, 0, len(o.entries))
+	out := buf[:0]
 	for _, e := range o.entries {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// slices.SortFunc with a non-capturing comparator allocates nothing,
+	// unlike sort.Slice's interface + closure boxing.
+	slices.SortFunc(out, func(a, b Entry) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 

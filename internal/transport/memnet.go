@@ -155,7 +155,9 @@ func (p *Port) Send(to string, payload []byte) error {
 	}
 	body := append([]byte(nil), payload...)
 	if p.conn == nil {
-		p.sb.clk.AfterFunc(p.sb.wireLatency, func() {
+		// Fire-and-forget: Schedule skips the Timer handle AfterFunc would
+		// allocate for a cancellation we never use.
+		vclock.Schedule(p.sb.clk, p.sb.wireLatency, func() {
 			p.sb.route(p.id, to, body)
 		})
 		return nil
@@ -173,17 +175,10 @@ func (p *Port) Send(to string, payload []byte) error {
 // deliver runs the payload through the node's downlink and hands it to the
 // receive handler.
 func (p *Port) deliver(from string, payload []byte) {
-	handoff := func() {
-		p.mu.Lock()
-		fn := p.onReceive
-		closed := p.closed
-		p.mu.Unlock()
-		if fn != nil && !closed {
-			fn(from, payload)
-		}
-	}
 	if p.conn == nil {
-		handoff()
+		// Wired node: hand off synchronously without materializing the
+		// closure the radio path needs.
+		p.handoff(from, payload)
 		return
 	}
 	link := p.conn.Link()
@@ -193,7 +188,17 @@ func (p *Port) deliver(from string, payload []byte) {
 		p.sb.mu.Unlock()
 		return
 	}
-	link.Transfer(0, int64(len(payload)), handoff)
+	link.Transfer(0, int64(len(payload)), func() { p.handoff(from, payload) })
+}
+
+func (p *Port) handoff(from string, payload []byte) {
+	p.mu.Lock()
+	fn := p.onReceive
+	closed := p.closed
+	p.mu.Unlock()
+	if fn != nil && !closed {
+		fn(from, payload)
+	}
 }
 
 // OnReceive implements Messenger.

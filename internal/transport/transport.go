@@ -34,8 +34,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sort"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -81,6 +82,28 @@ type TraceSender interface {
 	SendTraced(to string, payload []byte, traces []obs.TraceID) error
 }
 
+// Outgoing is one destination's framed envelope within a coalesced flush
+// write. Traces holds the batch's trace IDs in item order (empty for
+// floor/ack-only envelopes); zero entries are untraced.
+type Outgoing struct {
+	To      string
+	Payload []byte
+	Traces  []obs.TraceID
+}
+
+// BatchSender is optionally implemented by messengers that can coalesce one
+// flush's envelopes into fewer writes — the XMPP adapter buffers every
+// destination's envelope and issues a single conn.Write per connection.
+// SendBatch reports how many envelopes (a strict prefix of batch) were
+// accepted for transmission; the endpoint treats the remainder as send
+// failures and leaves their entries for the retransmission path, so a
+// connection cut mid-batch degrades into retries, never loss or duplicates.
+// Implementations must copy any payload they retain: the buffers are pooled
+// and reused as soon as SendBatch returns.
+type BatchSender interface {
+	SendBatch(batch []Outgoing) (int, error)
+}
+
 // envelope is the JSON wire format of one switchboard payload: a batch of
 // data messages and/or a set of acknowledgements.
 type envelope struct {
@@ -118,17 +141,30 @@ func frame(b []byte) []byte {
 	return append(out, b...)
 }
 
-// unframe verifies and strips the CRC32 header.
+// unframe verifies and strips the CRC32 header. The hex header is parsed by
+// hand: strconv.ParseUint would force a string conversion (one allocation
+// per inbound payload) for eight fixed-position digits.
 func unframe(b []byte) ([]byte, error) {
 	if len(b) < 9 || b[8] != ':' {
 		return nil, errors.New("transport: malformed frame")
 	}
-	want, err := strconv.ParseUint(string(b[:8]), 16, 32)
-	if err != nil {
-		return nil, fmt.Errorf("transport: bad frame header: %w", err)
+	var want uint32
+	for _, c := range b[:8] {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return nil, errors.New("transport: bad frame header")
+		}
+		want = want<<4 | d
 	}
 	body := b[9:]
-	if crc32.ChecksumIEEE(body) != uint32(want) {
+	if crc32.ChecksumIEEE(body) != want {
 		return nil, errors.New("transport: checksum mismatch")
 	}
 	return body, nil
@@ -251,6 +287,11 @@ func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
 	}
 }
 
+// tracing reports whether a registry is attached. Hot paths use it to skip
+// building detail strings ("to="+dest, ...) that the nil-safe record/span
+// no-ops would otherwise force to be concatenated for nothing.
+func (o *endpointObs) tracing() bool { return o.tracer != nil || o.spans != nil }
+
 func (o *endpointObs) record(at time.Time, channel string, stage obs.Stage, id uint64, detail string) {
 	o.tracer.Record(at, o.node, channel, stage, id, detail)
 }
@@ -290,12 +331,13 @@ type chanOrder struct {
 	hold  map[uint64]envelopeItem
 }
 
-// drain returns the items deliverable in FIFO order, advancing past
-// floor-certified gaps. Held items below the floor (acked on arrival, then
-// purged at the sender while waiting for ordering) are still delivered —
-// skipping them would turn a reorder into a loss.
-func (c *chanOrder) drain() []envelopeItem {
-	var out []envelopeItem
+// drainInto appends the items deliverable in FIFO order to out, advancing
+// past floor-certified gaps. Held items below the floor (acked on arrival,
+// then purged at the sender while waiting for ordering) are still delivered
+// — skipping them would turn a reorder into a loss. The out slice is
+// caller-recycled scratch (receive's envScratch), so steady-state delivery
+// allocates nothing here.
+func (c *chanOrder) drainInto(out []envelopeItem) []envelopeItem {
 	for {
 		if it, ok := c.hold[c.next]; ok {
 			delete(c.hold, c.next)
@@ -337,16 +379,71 @@ type Endpoint struct {
 	onWire     func(sentBytes, recvBytes int64)
 	peers      map[string]*peerState
 	inflight   map[uint64]sendState
-	nextSeq    map[string]uint64          // seqKey(dest, channel) → next FIFO sequence
+	nextSeq    map[string]map[string]uint64 // dest → channel → next FIFO sequence
 	traceOf    map[uint64]obs.TraceID     // outbox id → inherited (relayed) trace; roots are derived
 	dirty      map[string]map[string]bool // dest → channels whose floor moved by expiry
 	retryTimer vclock.Timer               // pending self-driven retransmission, if any
+	retryFn    func()                     // the timer's callback, allocated once
 	stats      Stats
+
+	// flushMu serializes flush so its recycled scratch (fsc) has a single
+	// writer. It is always taken before e.mu, never while holding it.
+	flushMu sync.Mutex
+	fsc     flushScratch
 
 	obs *endpointObs // never nil; instruments are nil when cfg.Obs is nil
 }
 
-func seqKey(to, channel string) string { return to + "\x00" + channel }
+// destMeta locates one flush destination's state inside flushScratch's flat
+// arrays: eligible entries (and their traces) in [elig0,elig1), floor pairs
+// in [fl0,fl1).
+type destMeta struct {
+	name         string
+	elig0, elig1 int
+	fl0, fl1     int
+}
+
+// flushScratch is flush's recycled working set. One flush per endpoint runs
+// at a time (flushMu), so the same slices carry every flush and steady-state
+// flushing allocates nothing: no per-flush maps, no per-destination slices.
+type flushScratch struct {
+	pending  []store.Entry  // PendingInto scratch (ID order)
+	byDest   []store.Entry  // pending stably re-sorted by destination
+	elig     []store.Entry  // retry-eligible entries, grouped per dest
+	traces   []obs.TraceID  // parallel to elig
+	attempts []int          // per-send bookkeeping scratch
+	batch    []envelopeItem // envelope batch under construction
+	floorCh  []string       // floor channel/seq pairs, grouped per dest
+	floorSeq []uint64
+	dests    []destMeta
+	out      []Outgoing // coalesced-send staging (BatchSender path)
+	outBufs  []*[]byte
+	outMeta  []destMeta
+}
+
+// sortFloorPairs orders a destination's floor entries by channel in place —
+// the deterministic-bytes contract of the envelope encoder — without the
+// allocations of a sort.Interface shim. Channel lists are tiny.
+func sortFloorPairs(ch []string, seq []uint64) {
+	for i := 1; i < len(ch); i++ {
+		for j := i; j > 0 && ch[j] < ch[j-1]; j-- {
+			ch[j], ch[j-1] = ch[j-1], ch[j]
+			seq[j], seq[j-1] = seq[j-1], seq[j]
+		}
+	}
+}
+
+// setSeqLocked stores dest/channel's next FIFO sequence. The two-level map
+// makes the hot-path read (e.nextSeq[to][channel], nil-safe) allocation-free
+// where a concatenated "to\x00channel" key would cost a string per enqueue.
+func (e *Endpoint) setSeqLocked(to, channel string, next uint64) {
+	inner := e.nextSeq[to]
+	if inner == nil {
+		inner = make(map[string]uint64)
+		e.nextSeq[to] = inner
+	}
+	inner[channel] = next
+}
 
 // NewEndpoint wires a reliable endpoint over messenger m with outbox box.
 // It registers itself as m's receive handler and as an online handler, so a
@@ -369,16 +466,17 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 		cfg:      cfg,
 		peers:    make(map[string]*peerState),
 		inflight: make(map[uint64]sendState),
-		nextSeq:  make(map[string]uint64),
+		nextSeq:  make(map[string]map[string]uint64),
 		traceOf:  make(map[uint64]obs.TraceID),
 		dirty:    make(map[string]map[string]bool),
 		obs:      newEndpointObs(cfg.Obs, m.LocalID(), cfg.Entity),
 	}
+	e.retryFn = func() { e.flush(true) }
 	// Recover the per-channel sequence counters from the replayed outbox so
 	// post-reboot enqueues continue the FIFO where the last boot left it.
 	for _, entry := range box.Pending() {
-		if k := seqKey(entry.To, entry.Channel); entry.Seq >= e.nextSeq[k] {
-			e.nextSeq[k] = entry.Seq + 1
+		if entry.Seq >= e.nextSeq[entry.To][entry.Channel] {
+			e.setSeqLocked(entry.To, entry.Channel, entry.Seq+1)
 		}
 	}
 	m.OnReceive(e.receive)
@@ -486,10 +584,10 @@ func (e *Endpoint) Enqueue(to, channel string, payload msg.Value) error {
 // entry's wire envelope instead of a freshly derived root. trace 0 means
 // "originates here" and derives the root ID.
 func (e *Endpoint) EnqueueTraced(to, channel string, payload msg.Value, trace obs.TraceID) error {
-	bp := wireBufPool.Get().(*[]byte)
+	bp := getWireBuf()
 	b, err := e.encodeBody((*bp)[:0], payload)
 	if err != nil {
-		wireBufPool.Put(bp)
+		putWireBuf(bp, nil)
 		return fmt.Errorf("transport: encode: %w", err)
 	}
 	if e.cfg.Codec == CodecBinary && e.obs.codecSaved != nil {
@@ -501,15 +599,14 @@ func (e *Endpoint) EnqueueTraced(to, channel string, payload msg.Value, trace ob
 	}
 	now := e.clk.Now()
 	e.mu.Lock()
-	seq := e.nextSeq[seqKey(to, channel)]
+	seq := e.nextSeq[to][channel]
 	id, err := e.box.Add(to, channel, seq, b, now) // Add copies the payload
-	*bp = b[:0]
-	wireBufPool.Put(bp)
+	putWireBuf(bp, b)
 	if err != nil {
 		e.mu.Unlock()
 		return fmt.Errorf("transport: enqueue: %w", err)
 	}
-	e.nextSeq[seqKey(to, channel)] = seq + 1
+	e.setSeqLocked(to, channel, seq+1)
 	e.stats.MessagesEnqueued++
 	if trace != 0 {
 		e.traceOf[id] = trace
@@ -518,8 +615,10 @@ func (e *Endpoint) EnqueueTraced(to, channel string, payload msg.Value, trace ob
 	}
 	e.mu.Unlock()
 	e.obs.enqueued.Inc()
-	e.obs.record(now, channel, obs.StageEnqueue, id, "to="+to)
-	e.obs.span(now, trace, obs.StageEnqueue, channel, id, "to="+to)
+	if e.obs.tracing() {
+		e.obs.record(now, channel, obs.StageEnqueue, id, "to="+to)
+		e.obs.span(now, trace, obs.StageEnqueue, channel, id, "to="+to)
+	}
 	return nil
 }
 
@@ -566,7 +665,7 @@ func (e *Endpoint) scheduleRetry(now time.Time) {
 	if delay < time.Millisecond {
 		delay = time.Millisecond
 	}
-	e.retryTimer = e.clk.AfterFunc(delay, func() { e.flush(true) })
+	e.retryTimer = e.clk.AfterFunc(delay, e.retryFn)
 }
 
 // flush implements Flush. In retryOnly mode (the self-driven retransmission
@@ -590,162 +689,265 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		}
 		e.mu.Unlock()
 		e.obs.expired.Add(int64(len(dropped)))
-		e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(len(dropped)))
-		for i, entry := range dropped {
-			e.obs.span(now, expTraces[i], obs.StageExpire, entry.Channel, entry.ID, "to="+entry.To)
+		if e.obs.tracing() {
+			e.obs.record(now, "", obs.StageExpire, 0, "count="+strconv.Itoa(len(dropped)))
+			for i, entry := range dropped {
+				e.obs.span(now, expTraces[i], obs.StageExpire, entry.Channel, entry.ID, "to="+entry.To)
+			}
 		}
 	}
 	if !e.m.Online() {
 		return 0
 	}
-	pending := e.box.Pending()
 
-	// floors: per destination, the lowest live sequence per channel —
-	// computed over ALL live entries (not just retry-eligible ones).
-	floors := make(map[string]map[string]uint64)
-	elig := make(map[string][]store.Entry)
-	destSet := make(map[string]bool)
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	sc := &e.fsc
+	sc.pending = e.box.PendingInto(sc.pending)
+	// Group by destination with a stable sort so each destination's span
+	// keeps outbox-ID (FIFO) order — within one (dest, channel), IDs and
+	// sequences are assigned together under e.mu, so the first entry of a
+	// channel in a span carries that channel's lowest live sequence.
+	sc.byDest = append(sc.byDest[:0], sc.pending...)
+	slices.SortStableFunc(sc.byDest, func(a, b store.Entry) int { return strings.Compare(a.To, b.To) })
+
+	sc.elig = sc.elig[:0]
+	sc.traces = sc.traces[:0]
+	sc.floorCh = sc.floorCh[:0]
+	sc.floorSeq = sc.floorSeq[:0]
+	sc.dests = sc.dests[:0]
+
 	e.mu.Lock()
-	for _, entry := range pending {
-		f := floors[entry.To]
-		if f == nil {
-			f = make(map[string]uint64)
-			floors[entry.To] = f
+	for i := 0; i < len(sc.byDest); {
+		dest := sc.byDest[i].To
+		j := i
+		for j < len(sc.byDest) && sc.byDest[j].To == dest {
+			j++
 		}
-		if cur, ok := f[entry.Channel]; !ok || entry.Seq < cur {
-			f[entry.Channel] = entry.Seq
+		dm := destMeta{name: dest, elig0: len(sc.elig), fl0: len(sc.floorCh)}
+		for k := i; k < j; k++ {
+			entry := sc.byDest[k]
+			// Floors cover ALL live entries (not just retry-eligible ones):
+			// first occurrence of a channel in ID order is its lowest
+			// sequence.
+			if !floorHas(sc.floorCh[dm.fl0:], entry.Channel) {
+				sc.floorCh = append(sc.floorCh, entry.Channel)
+				sc.floorSeq = append(sc.floorSeq, entry.Seq)
+			}
+			st, wasSent := e.inflight[entry.ID]
+			if wasSent && now.Sub(st.at) < e.retryWait(st.attempts) {
+				continue
+			}
+			if !wasSent && retryOnly {
+				continue
+			}
+			sc.elig = append(sc.elig, entry)
+			sc.traces = append(sc.traces, e.traceForLocked(entry.ID))
 		}
-		st, sent := e.inflight[entry.ID]
-		if sent && now.Sub(st.at) < e.retryWait(st.attempts) {
-			continue
+		dm.elig1 = len(sc.elig)
+		for ch := range e.dirty[dest] {
+			if !floorHas(sc.floorCh[dm.fl0:], ch) {
+				// Channel fully drained by the purge: the floor is whatever
+				// the next enqueue would be assigned.
+				sc.floorCh = append(sc.floorCh, ch)
+				sc.floorSeq = append(sc.floorSeq, e.nextSeq[dest][ch])
+			}
 		}
-		if !sent && retryOnly {
-			continue
+		dm.fl1 = len(sc.floorCh)
+		if dm.elig1 > dm.elig0 || len(e.dirty[dest]) > 0 {
+			sortFloorPairs(sc.floorCh[dm.fl0:dm.fl1], sc.floorSeq[dm.fl0:dm.fl1])
+			sc.dests = append(sc.dests, dm)
+		} else {
+			// Nothing to send this destination: roll its floor scratch back.
+			sc.floorCh = sc.floorCh[:dm.fl0]
+			sc.floorSeq = sc.floorSeq[:dm.fl0]
 		}
-		elig[entry.To] = append(elig[entry.To], entry)
-		destSet[entry.To] = true
+		i = j
 	}
-	for dest := range e.dirty {
-		destSet[dest] = true
+	// Destinations whose only business is a purge-moved floor (no live
+	// entries at all).
+	for dest, chans := range e.dirty {
+		if len(chans) == 0 || destsHave(sc.dests, dest) {
+			continue
+		}
+		dm := destMeta{name: dest, elig0: len(sc.elig), elig1: len(sc.elig), fl0: len(sc.floorCh)}
+		for ch := range chans {
+			sc.floorCh = append(sc.floorCh, ch)
+			sc.floorSeq = append(sc.floorSeq, e.nextSeq[dest][ch])
+		}
+		dm.fl1 = len(sc.floorCh)
+		sortFloorPairs(sc.floorCh[dm.fl0:dm.fl1], sc.floorSeq[dm.fl0:dm.fl1])
+		sc.dests = append(sc.dests, dm)
 	}
 	if !retryOnly {
 		e.stats.Flushes++
 	}
 	e.mu.Unlock()
-	dests := make([]string, 0, len(destSet))
-	for dest := range destSet {
-		dests = append(dests, dest)
-	}
-	sort.Strings(dests)
+	// Deterministic send order: destinations ascending, exactly as the
+	// sorted destination set behaved before the scratch rewrite.
+	slices.SortFunc(sc.dests, func(a, b destMeta) int { return strings.Compare(a.name, b.name) })
 	if !retryOnly {
 		e.obs.flushes.Inc()
 	}
-	if len(dests) > 0 {
-		e.obs.record(now, "", obs.StageFlush, 0, "destinations="+strconv.Itoa(len(dests)))
+	if len(sc.dests) > 0 && e.obs.tracing() {
+		e.obs.record(now, "", obs.StageFlush, 0, "destinations="+strconv.Itoa(len(sc.dests)))
 	}
 
 	sent := 0
-	for _, dest := range dests {
-		entries := elig[dest]
-		env := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID}
-		var traces []obs.TraceID
-		if len(entries) > 0 {
-			traces = make([]obs.TraceID, len(entries))
-			e.mu.Lock()
-			for i, entry := range entries {
-				traces[i] = e.traceForLocked(entry.ID)
+	if bs, ok := e.m.(BatchSender); ok && len(sc.dests) > 0 {
+		// Coalescing path: encode every destination's envelope up front,
+		// hand the whole set to the messenger as one batch, then book the
+		// accepted prefix. Buffers stay pooled; they are released only after
+		// the batch returns.
+		sc.out = sc.out[:0]
+		sc.outBufs = sc.outBufs[:0]
+		sc.outMeta = sc.outMeta[:0]
+		for _, dm := range sc.dests {
+			wire, bp, err := e.encodeDest(sc, dm)
+			if err != nil {
+				putWireBuf(bp, nil)
+				continue
 			}
-			e.mu.Unlock()
+			sc.out = append(sc.out, Outgoing{To: dm.name, Payload: wire, Traces: sc.traces[dm.elig0:dm.elig1]})
+			sc.outBufs = append(sc.outBufs, bp)
+			sc.outMeta = append(sc.outMeta, dm)
 		}
-		for i, entry := range entries {
-			env.Batch = append(env.Batch, envelopeItem{
-				ID:      entry.ID,
-				Seq:     entry.Seq,
-				Channel: entry.Channel,
-				Trace:   uint64(traces[i]),
-				Body:    json.RawMessage(entry.Payload),
-			})
+		nOK, _ := bs.SendBatch(sc.out)
+		if nOK > len(sc.out) {
+			nOK = len(sc.out)
 		}
-		fl := make(map[string]uint64, len(floors[dest]))
-		for ch, s := range floors[dest] {
-			fl[ch] = s
-		}
-		e.mu.Lock()
-		for ch := range e.dirty[dest] {
-			if _, ok := fl[ch]; !ok {
-				// Channel fully drained by the purge: the floor is whatever
-				// the next enqueue would be assigned.
-				fl[ch] = e.nextSeq[seqKey(dest, ch)]
+		for i, dm := range sc.outMeta {
+			if i < nOK {
+				sent += e.finishDest(now, sc, dm, int64(len(sc.out[i].Payload)))
+			} else {
+				e.obs.sendErrors.Inc()
 			}
+			putWireBuf(sc.outBufs[i], sc.out[i].Payload)
 		}
-		e.mu.Unlock()
-		if len(fl) > 0 {
-			env.Floors = fl
-		}
-		if len(env.Batch) == 0 && len(env.Floors) == 0 {
-			continue
-		}
-		bp := wireBufPool.Get().(*[]byte)
-		buf := append((*bp)[:0], frameHeader[:]...)
-		buf, err := appendEnvelope(buf, &env, e.cfg.Codec)
-		if err != nil {
-			wireBufPool.Put(bp)
-			continue
-		}
-		wire := frameInto(buf)
-		// A trace-aware messenger (the XMPP adapter) gets the batch's trace
-		// IDs alongside the payload so it can stamp them on the stanza.
-		if ts, ok := e.m.(TraceSender); ok && len(traces) > 0 {
-			err = ts.SendTraced(dest, wire, traces)
-		} else {
-			err = e.m.Send(dest, wire) // Send copies; the buffer is ours again
-		}
-		wireLen := int64(len(wire))
-		*bp = buf[:0]
-		wireBufPool.Put(bp)
-		if err != nil {
-			e.obs.sendErrors.Inc()
-			continue
-		}
-		e.notifyWire(wireLen, 0)
-		retries := 0
-		attempts := make([]int, len(entries))
-		e.mu.Lock()
-		for i, entry := range entries {
-			st := e.inflight[entry.ID]
-			if st.attempts > 0 {
-				retries++
+	} else {
+		for _, dm := range sc.dests {
+			wire, bp, err := e.encodeDest(sc, dm)
+			if err != nil {
+				putWireBuf(bp, nil)
+				continue
 			}
-			st.at = now
-			st.attempts++
-			attempts[i] = st.attempts
-			e.inflight[entry.ID] = st
+			// A trace-aware messenger (the XMPP adapter) gets the batch's
+			// trace IDs alongside the payload so it can stamp them on the
+			// stanza.
+			if ts, ok := e.m.(TraceSender); ok && dm.elig1 > dm.elig0 {
+				err = ts.SendTraced(dm.name, wire, sc.traces[dm.elig0:dm.elig1])
+			} else {
+				err = e.m.Send(dm.name, wire) // Send copies; the buffer is ours again
+			}
+			wireLen := int64(len(wire))
+			putWireBuf(bp, wire)
+			if err != nil {
+				e.obs.sendErrors.Inc()
+				continue
+			}
+			sent += e.finishDest(now, sc, dm, wireLen)
 		}
-		delete(e.dirty, dest)
-		e.stats.MessagesSent += len(entries)
-		e.stats.Retries += retries
-		e.stats.BytesSent += wireLen
-		e.mu.Unlock()
-		e.obs.sent.Add(int64(len(entries)))
-		e.obs.retries.Add(int64(retries))
-		e.obs.bytesSent.Add(wireLen)
-		e.obs.deviceMeter.AddUplink(wireLen)
-		for _, entry := range entries {
-			e.obs.chargeChannel(entry.Channel, int64(len(entry.Payload)))
-		}
-		if len(entries) > 0 {
-			e.obs.batchSize.Observe(float64(len(entries)))
-		}
-		for i, entry := range entries {
-			e.obs.queueDelay.Observe(now.Sub(entry.Enqueued()).Seconds())
-			e.obs.record(now, entry.Channel, obs.StageSend, entry.ID, "to="+dest)
-			e.obs.span(now, traces[i], obs.StageSend, entry.Channel, entry.ID,
-				"to="+dest+" attempt="+strconv.Itoa(attempts[i]))
-		}
-		sent += len(entries)
 	}
 	e.scheduleRetry(now)
 	return sent
+}
+
+// floorHas reports whether ch already has a floor entry in this
+// destination's span — a linear scan, since a destination rarely has more
+// than a handful of channels.
+func floorHas(chans []string, ch string) bool {
+	for _, c := range chans {
+		if c == ch {
+			return true
+		}
+	}
+	return false
+}
+
+func destsHave(dests []destMeta, name string) bool {
+	for i := range dests {
+		if dests[i].name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeDest builds and frames one destination's envelope into a pooled
+// buffer. The caller owns the returned buffer handle and must release it
+// with putWireBuf on every path.
+func (e *Endpoint) encodeDest(sc *flushScratch, dm destMeta) ([]byte, *[]byte, error) {
+	batch := sc.batch[:0]
+	for k := dm.elig0; k < dm.elig1; k++ {
+		entry := &sc.elig[k]
+		batch = append(batch, envelopeItem{
+			ID:      entry.ID,
+			Seq:     entry.Seq,
+			Channel: entry.Channel,
+			Trace:   uint64(sc.traces[k]),
+			Body:    json.RawMessage(entry.Payload),
+		})
+	}
+	sc.batch = batch
+	bp := getWireBuf()
+	buf := append((*bp)[:0], frameHeader[:]...)
+	buf, err := appendEnvelopeParts(buf, e.m.LocalID(), e.cfg.BootID, batch, nil,
+		sc.floorCh[dm.fl0:dm.fl1], sc.floorSeq[dm.fl0:dm.fl1], e.cfg.Codec)
+	if err != nil {
+		return nil, bp, err
+	}
+	return frameInto(buf), bp, nil
+}
+
+// finishDest books a successfully handed-off envelope: inflight state,
+// stats, counters, ledger charges, and trace spans for every entry it
+// carried. Returns the number of data entries sent.
+func (e *Endpoint) finishDest(now time.Time, sc *flushScratch, dm destMeta, wireLen int64) int {
+	entries := sc.elig[dm.elig0:dm.elig1]
+	traces := sc.traces[dm.elig0:dm.elig1]
+	e.notifyWire(wireLen, 0)
+	retries := 0
+	if cap(sc.attempts) < len(entries) {
+		sc.attempts = make([]int, len(entries))
+	}
+	attempts := sc.attempts[:len(entries)]
+	e.mu.Lock()
+	for i := range entries {
+		st := e.inflight[entries[i].ID]
+		if st.attempts > 0 {
+			retries++
+		}
+		st.at = now
+		st.attempts++
+		attempts[i] = st.attempts
+		e.inflight[entries[i].ID] = st
+	}
+	delete(e.dirty, dm.name)
+	e.stats.MessagesSent += len(entries)
+	e.stats.Retries += retries
+	e.stats.BytesSent += wireLen
+	e.mu.Unlock()
+	e.obs.sent.Add(int64(len(entries)))
+	e.obs.retries.Add(int64(retries))
+	e.obs.bytesSent.Add(wireLen)
+	e.obs.deviceMeter.AddUplink(wireLen)
+	for i := range entries {
+		e.obs.chargeChannel(entries[i].Channel, int64(len(entries[i].Payload)))
+	}
+	if len(entries) > 0 {
+		e.obs.batchSize.Observe(float64(len(entries)))
+	}
+	for i := range entries {
+		e.obs.queueDelay.Observe(now.Sub(entries[i].Enqueued()).Seconds())
+	}
+	if e.obs.tracing() {
+		for i := range entries {
+			e.obs.record(now, entries[i].Channel, obs.StageSend, entries[i].ID, "to="+dm.name)
+			e.obs.span(now, traces[i], obs.StageSend, entries[i].Channel, entries[i].ID,
+				"to="+dm.name+" attempt="+strconv.Itoa(attempts[i]))
+		}
+	}
+	return len(entries)
 }
 
 // receive handles an inbound envelope: verify the frame, apply acks and
@@ -763,7 +965,9 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		e.obs.corruptDropped.Inc()
 		return
 	}
-	env, err := decodeEnvelope(body)
+	sc := envScratchPool.Get().(*envScratch)
+	defer envScratchPool.Put(sc)
+	env, err := decodeEnvelopeInto(body, sc)
 	if err != nil {
 		e.mu.Lock()
 		e.stats.CorruptDropped++
@@ -811,16 +1015,21 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		}
 		return c
 	}
-	touched := make(map[string]bool)
+	// touched collects the channels whose state moved, with linear dedup —
+	// an envelope rarely spans more than a few channels, and the recycled
+	// slice keeps the hot path allocation-free.
+	touched := sc.touched[:0]
 	for ch, f := range env.Floors {
 		c := order(ch)
 		if f > c.floor {
 			c.floor = f
 		}
-		touched[ch] = true
+		if !floorHas(touched, ch) {
+			touched = append(touched, ch)
+		}
 	}
 	dups := 0
-	ackIDs := make([]uint64, 0, len(env.Batch))
+	ackIDs := sc.ackIDs[:0]
 	for _, item := range env.Batch {
 		ackIDs = append(ackIDs, item.ID)
 		c := order(item.Channel)
@@ -831,18 +1040,19 @@ func (e *Endpoint) receive(from string, payload []byte) {
 			continue
 		}
 		ps.seen[item.ID] = true
-		c.hold[item.Seq] = item
-		touched[item.Channel] = true
+		c.hold[item.Seq] = item // the hold map copies item; scratch-safe
+		if !floorHas(touched, item.Channel) {
+			touched = append(touched, item.Channel)
+		}
 	}
-	channels := make([]string, 0, len(touched))
-	for ch := range touched {
-		channels = append(channels, ch)
+	sc.ackIDs = ackIDs
+	sortStrings(touched)
+	sc.touched = touched
+	deliver := sc.deliver[:0]
+	for _, ch := range touched {
+		deliver = ps.chans[ch].drainInto(deliver)
 	}
-	sort.Strings(channels)
-	var deliver []envelopeItem
-	for _, ch := range channels {
-		deliver = append(deliver, ps.chans[ch].drain()...)
-	}
+	sc.deliver = deliver
 	e.stats.MessagesReceived += len(deliver)
 	// Bound the dedup memory: forget the oldest half above a cap. A peer
 	// retransmitting something this old is additionally screened by the
@@ -852,7 +1062,7 @@ func (e *Endpoint) receive(from string, payload []byte) {
 		for id := range ps.seen {
 			ids = append(ids, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		for _, id := range ids[:len(ids)/2] {
 			delete(ps.seen, id)
 		}
@@ -877,27 +1087,28 @@ func (e *Endpoint) receive(from string, payload []byte) {
 	// retransmission, which dedup absorbs). Held items are acked too — the
 	// sender's job is done once they arrive; ordering is receiver-local.
 	if len(ackIDs) > 0 {
-		ackEnv := envelope{From: e.m.LocalID(), Boot: e.cfg.BootID, Ack: ackIDs}
-		bp := wireBufPool.Get().(*[]byte)
+		bp := getWireBuf()
 		buf := append((*bp)[:0], frameHeader[:]...)
-		if buf, err := appendEnvelope(buf, &ackEnv, e.cfg.Codec); err == nil {
+		buf, err := appendEnvelopeParts(buf, e.m.LocalID(), e.cfg.BootID, nil, ackIDs, nil, nil, e.cfg.Codec)
+		if err == nil {
 			wire := frameInto(buf)
 			if e.m.Send(sender, wire) == nil {
 				e.notifyWire(int64(len(wire)), 0)
 				e.obs.ackBytes.Add(int64(len(wire)))
 			}
-			*bp = buf[:0]
 		}
-		wireBufPool.Put(bp)
+		putWireBuf(bp, buf)
 	}
 
 	if handler == nil && handlerT == nil {
 		return
 	}
 	for _, item := range deliver {
-		// Decode sniffs the body codec, so a mixed-codec peer set delivers
-		// uniformly.
-		v, err := msg.Decode(item.Body)
+		// DecodeFrozen sniffs the body codec (so a mixed-codec peer set
+		// delivers uniformly) and hands the application a pre-frozen map
+		// whose strings alias the receive buffer: the broker's zero-copy
+		// fanout starts at the wire, with no defensive clone in between.
+		v, err := msg.DecodeFrozen(item.Body)
 		if err != nil {
 			continue
 		}

@@ -6,8 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sort"
 	"sync"
+
+	"pogo/internal/msg"
 )
 
 // Binary envelope codec and pooled framing: the zero-garbage half of the
@@ -36,6 +37,12 @@ import (
 // new magic from an untraced sender. An absent trace field decodes as 0
 // ("untraced") — a no-op downstream — which covers the legacy-JSON interop
 // path too ("t" is omitempty, unknown fields are ignored).
+//
+// Decode mirrors encode's pooling (PR 9): an envScratch carries the batch,
+// ack, and floor storage from envelope to envelope, and the envelope's
+// From/Boot/Channel strings are interned — sensor fleets repeat the same
+// few identifiers forever, so in steady state decoding an envelope
+// allocates nothing beyond what its payload bodies need.
 
 // Codec selects the wire encoding of an endpoint's envelopes and message
 // bodies.
@@ -62,8 +69,24 @@ var errEnvelope = errors.New("transport: malformed binary envelope")
 // wireBufPool recycles encode scratch for envelopes, acks, and enqueued
 // bodies. Every consumer (messenger Send, store.Outbox.Add) copies the bytes
 // it keeps, so buffers can be returned as soon as the call chain returns.
+// Discipline: take with getWireBuf, release with putWireBuf on EVERY path —
+// including errors — so a slot never leaks or gets clobbered with nil.
 var wireBufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// getWireBuf takes a pooled buffer handle. Use (*bp)[:0] as the working
+// slice and hand both back to putWireBuf when done.
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+// putWireBuf returns a pooled buffer, keeping whatever capacity the working
+// slice grew to. A nil buf (an encode error path) keeps the handle's
+// original backing array instead of clobbering the slot.
+func putWireBuf(bp *[]byte, buf []byte) {
+	if buf != nil {
+		*bp = buf[:0]
+	}
+	wireBufPool.Put(bp)
 }
 
 // frameHeader is the placeholder the encoder reserves at the front of a
@@ -93,6 +116,64 @@ func appendEnvelope(dst []byte, env *envelope, codec Codec) ([]byte, error) {
 		return append(dst, b...), nil
 	}
 	return appendEnvelopeBinary(dst, env), nil
+}
+
+// appendEnvelopeParts encodes an envelope from its flattened components —
+// the allocation-free twin of appendEnvelope for the flush and ack hot
+// paths, which keep floors as parallel (channel, seq) slices instead of a
+// map. floorCh must already be sorted; the bytes produced are identical to
+// appendEnvelope on the equivalent envelope struct.
+func appendEnvelopeParts(dst []byte, from, boot string, batch []envelopeItem, ack []uint64, floorCh []string, floorSeq []uint64, codec Codec) ([]byte, error) {
+	if codec == CodecJSON {
+		env := envelope{From: from, Boot: boot, Batch: batch, Ack: ack}
+		if len(floorCh) > 0 {
+			env.Floors = make(map[string]uint64, len(floorCh))
+			for i, ch := range floorCh {
+				env.Floors[ch] = floorSeq[i]
+			}
+		}
+		b, err := json.Marshal(&env)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, b...), nil
+	}
+	traced := false
+	for i := range batch {
+		if batch[i].Trace != 0 {
+			traced = true
+			break
+		}
+	}
+	if traced {
+		dst = append(dst, envMagicTraced)
+	} else {
+		dst = append(dst, envMagic)
+	}
+	dst = appendUvStr(dst, from)
+	dst = appendUvStr(dst, boot)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for i := range batch {
+		it := &batch[i]
+		dst = binary.AppendUvarint(dst, it.ID)
+		dst = binary.AppendUvarint(dst, it.Seq)
+		dst = appendUvStr(dst, it.Channel)
+		if traced {
+			dst = binary.AppendUvarint(dst, it.Trace)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(it.Body)))
+		dst = append(dst, it.Body...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(ack)))
+	for _, id := range ack {
+		dst = binary.AppendUvarint(dst, id)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(floorCh)))
+	for i, ch := range floorCh {
+		dst = appendUvStr(dst, ch)
+		dst = binary.AppendUvarint(dst, floorSeq[i])
+	}
+	return dst, nil
 }
 
 func appendUvStr(dst []byte, s string) []byte {
@@ -137,7 +218,7 @@ func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
 		for ch := range env.Floors {
 			chans = append(chans, ch)
 		}
-		sort.Strings(chans)
+		sortStrings(chans)
 		for _, ch := range chans {
 			dst = appendUvStr(dst, ch)
 			dst = binary.AppendUvarint(dst, env.Floors[ch])
@@ -146,10 +227,47 @@ func appendEnvelopeBinary(dst []byte, env *envelope) []byte {
 	return dst
 }
 
-// decodeEnvelope parses either envelope encoding, sniffing by first byte.
+// sortStrings is an allocation-free insertion sort for the short channel
+// lists envelopes carry (sort.Strings boxes its argument).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// envScratch is the reusable decode + receive-side storage for one envelope:
+// batch, ack, and floor entries land in recycled slices/maps instead of
+// per-envelope allocations. Scratch contents are only valid until the next
+// decode with the same scratch; receive copies anything it retains (held
+// items are copied by value into the hold map).
+type envScratch struct {
+	batch  []envelopeItem
+	ack    []uint64
+	floors map[string]uint64
+
+	// receive-side working sets, recycled for the same reason.
+	ackIDs  []uint64
+	touched []string
+	deliver []envelopeItem
+}
+
+var envScratchPool = sync.Pool{
+	New: func() any { return &envScratch{floors: make(map[string]uint64, 8)} },
+}
+
+// decodeEnvelope parses either envelope encoding into freshly allocated
+// storage (tests and cold paths; receive uses decodeEnvelopeInto).
 func decodeEnvelope(body []byte) (envelope, error) {
+	return decodeEnvelopeInto(body, &envScratch{floors: make(map[string]uint64)})
+}
+
+// decodeEnvelopeInto parses either envelope encoding, sniffing by first
+// byte. Binary envelopes decode into sc's recycled storage.
+func decodeEnvelopeInto(body []byte, sc *envScratch) (envelope, error) {
 	if len(body) > 0 && (body[0] == envMagic || body[0] == envMagicTraced) {
-		return decodeEnvelopeBinary(body[1:], body[0] == envMagicTraced)
+		return decodeEnvelopeBinary(body[1:], body[0] == envMagicTraced, sc)
 	}
 	var env envelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -161,10 +279,12 @@ func decodeEnvelope(body []byte) (envelope, error) {
 // decodeEnvelopeBinary parses the body after the magic byte. Item bodies
 // alias the input buffer (zero-copy): the buffer is GC-owned by the receive
 // path, never pooled, so held-back items keep it alive exactly as long as
-// needed. Claimed counts and lengths are validated against the remaining
-// bytes before any allocation. traced selects the envMagicTraced layout
-// (per-item trace uvarint); an untraced envelope leaves every Trace 0.
-func decodeEnvelopeBinary(b []byte, traced bool) (envelope, error) {
+// needed. Envelope strings (from, boot, channels) are interned — a fleet
+// repeats the same identifiers forever. Claimed counts and lengths are
+// validated against the remaining bytes before any allocation. traced
+// selects the envMagicTraced layout (per-item trace uvarint); an untraced
+// envelope leaves every Trace 0.
+func decodeEnvelopeBinary(b []byte, traced bool, sc *envScratch) (envelope, error) {
 	var env envelope
 	var err error
 	if env.From, b, err = readUvStr(b); err != nil {
@@ -182,7 +302,7 @@ func decodeEnvelopeBinary(b []byte, traced bool) (envelope, error) {
 		return envelope{}, err
 	}
 	if n > 0 {
-		env.Batch = make([]envelopeItem, 0, n)
+		batch := sc.batch[:0]
 		for i := uint64(0); i < n; i++ {
 			var it envelopeItem
 			if it.ID, b, err = readUv(b); err != nil {
@@ -208,27 +328,31 @@ func decodeEnvelopeBinary(b []byte, traced bool) (envelope, error) {
 			}
 			it.Body = json.RawMessage(b[:bl])
 			b = b[bl:]
-			env.Batch = append(env.Batch, it)
+			batch = append(batch, it)
 		}
+		sc.batch = batch
+		env.Batch = batch
 	}
 	if n, b, err = readCount(b, 1); err != nil {
 		return envelope{}, err
 	}
 	if n > 0 {
-		env.Ack = make([]uint64, 0, n)
+		ack := sc.ack[:0]
 		for i := uint64(0); i < n; i++ {
 			var id uint64
 			if id, b, err = readUv(b); err != nil {
 				return envelope{}, err
 			}
-			env.Ack = append(env.Ack, id)
+			ack = append(ack, id)
 		}
+		sc.ack = ack
+		env.Ack = ack
 	}
 	if n, b, err = readCount(b, 2); err != nil {
 		return envelope{}, err
 	}
 	if n > 0 {
-		env.Floors = make(map[string]uint64, n)
+		clear(sc.floors)
 		for i := uint64(0); i < n; i++ {
 			var ch string
 			var f uint64
@@ -238,8 +362,9 @@ func decodeEnvelopeBinary(b []byte, traced bool) (envelope, error) {
 			if f, b, err = readUv(b); err != nil {
 				return envelope{}, err
 			}
-			env.Floors[ch] = f
+			sc.floors[ch] = f
 		}
+		env.Floors = sc.floors
 	}
 	if len(b) != 0 {
 		return envelope{}, fmt.Errorf("%w: %d bytes of trailing data", errEnvelope, len(b))
@@ -268,6 +393,8 @@ func readCount(b []byte, minElemSize uint64) (uint64, []byte, error) {
 	return n, rest, nil
 }
 
+// readUvStr reads a length-prefixed string, interning the copy: envelope
+// strings are drawn from a fleet's small, endlessly repeated identifier set.
 func readUvStr(b []byte) (string, []byte, error) {
 	n, rest, err := readUv(b)
 	if err != nil {
@@ -276,5 +403,5 @@ func readUvStr(b []byte) (string, []byte, error) {
 	if n > uint64(len(rest)) {
 		return "", nil, fmt.Errorf("%w: string length %d exceeds input", errEnvelope, n)
 	}
-	return string(rest[:n]), rest[n:], nil
+	return msg.Intern(rest[:n]), rest[n:], nil
 }

@@ -97,6 +97,33 @@ func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
 	return &simTimer{sim: s, ev: ev}
 }
 
+// Schedule is AfterFunc for callers that never cancel: it enqueues the
+// callback without materializing a Timer handle, which saves one allocation
+// per call on the simulated clock. Ordering is identical to AfterFunc — the
+// event joins the same (time, insertion) queue.
+func (s *Sim) Schedule(d time.Duration, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{at: s.now.Add(d), seq: s.seq, fn: f}
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// Schedule runs f after d on clk, discarding the cancellation handle. On a
+// simulated clock this skips the Timer allocation entirely; elsewhere it
+// falls back to AfterFunc. For fire-and-forget wire hops (the memnet fabric)
+// this is the cheap path.
+func Schedule(clk Clock, d time.Duration, f func()) {
+	if s, ok := clk.(*Sim); ok {
+		s.Schedule(d, f)
+		return
+	}
+	clk.AfterFunc(d, f)
+}
+
 // Advance moves simulated time forward by d, running every due callback in
 // order. It returns the number of callbacks run.
 func (s *Sim) Advance(d time.Duration) int {

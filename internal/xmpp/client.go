@@ -1,6 +1,7 @@
 package xmpp
 
 import (
+	"encoding/base64"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -14,11 +15,15 @@ import (
 // value is not usable; construct with Dial. Incoming stanzas are dispatched
 // on a dedicated reader goroutine; handlers must not block for long.
 type Client struct {
-	jid  JID
-	conn net.Conn
-	// dec is set during the handshake; afterwards only the reader goroutine
+	jid JID
+	// binOK reports that the server negotiated binary message frames (its
+	// stream header carried bin="1"). Set during the handshake, read-only
+	// afterwards.
+	binOK bool
+	conn  net.Conn
+	// sr is set during the handshake; afterwards only the reader goroutine
 	// touches it.
-	dec *xml.Decoder
+	sr *stanzaReader
 
 	writeMu sync.Mutex
 
@@ -26,6 +31,7 @@ type Client struct {
 	closed       bool
 	err          error
 	onMessage    func(from JID, id, body string)
+	onMessageRaw func(from JID, id string, body []byte)
 	backlog      []messageStanza // arrived before OnMessage was registered
 	onError      func(id, reason string)
 	onPresence   func(peer JID, available bool)
@@ -34,6 +40,14 @@ type Client struct {
 	nextIQ       int
 
 	done chan struct{}
+}
+
+// RawMessage is one message in a coalesced SendMessages batch.
+type RawMessage struct {
+	To    JID
+	ID    string
+	Body  []byte
+	Trace string
 }
 
 // Dial connects, authenticates, and starts the reader. resource defaults to
@@ -59,43 +73,57 @@ func Dial(addr, user, password, resource string) (*Client, error) {
 func (c *Client) handshake(user, password, resource string) error {
 	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
 	defer c.conn.SetDeadline(time.Time{})
-	if _, err := c.conn.Write([]byte(`<stream to="` + Domain + `">` + "\n")); err != nil {
+	if _, err := c.conn.Write(streamOpenLine("to", Domain)); err != nil {
 		return fmt.Errorf("xmpp: stream open: %w", err)
 	}
-	dec := xml.NewDecoder(c.conn)
-	var hdr streamHeader
-	if err := expectElement(dec, "stream", &hdr); err != nil {
+	sr := newStanzaReader(c.conn)
+	_, isFrame, line, err := sr.next()
+	if err != nil {
 		return fmt.Errorf("xmpp: server stream: %w", err)
 	}
+	hdr, ok := streamHeader{}, false
+	if !isFrame {
+		hdr, ok = parseStreamHeader(line)
+	}
+	if !ok {
+		return errors.New("xmpp: server stream: not an xmpp greeting")
+	}
+	c.binOK = hdr.Bin == streamBinAttr
 	if err := c.write(authStanza{User: user, Password: password, Resource: resource}); err != nil {
 		return err
 	}
-	tok, err := nextStart(dec)
+	_, isFrame, line, err = sr.next()
 	if err != nil {
 		return fmt.Errorf("xmpp: auth response: %w", err)
 	}
-	switch tok.Name.Local {
+	if isFrame {
+		return errors.New("xmpp: unexpected frame during auth")
+	}
+	switch elementName(line) {
 	case "success":
 		var s successStanza
-		if err := dec.DecodeElement(&s, &tok); err != nil {
+		if err := xml.Unmarshal(line, &s); err != nil {
 			return err
 		}
 		c.jid = JID(s.JID)
 	case "failure":
 		var f failureStanza
-		if err := dec.DecodeElement(&f, &tok); err != nil {
+		if err := xml.Unmarshal(line, &f); err != nil {
 			return err
 		}
 		return fmt.Errorf("xmpp: auth failed: %s", f.Reason)
 	default:
-		return fmt.Errorf("xmpp: unexpected <%s> during auth", tok.Name.Local)
+		return fmt.Errorf("xmpp: unexpected <%s> during auth", elementName(line))
 	}
-	c.dec = dec
+	c.sr = sr
 	return nil
 }
 
 // JID returns the bound full JID.
 func (c *Client) JID() JID { return c.jid }
+
+// BinaryCapable reports whether the server negotiated binary message frames.
+func (c *Client) BinaryCapable() bool { return c.binOK }
 
 // OnMessage sets the inbound message handler. Messages that arrived before
 // the handler was registered — e.g. stanzas the server replayed the moment
@@ -106,8 +134,23 @@ func (c *Client) OnMessage(fn func(from JID, id, body string)) {
 	backlog := c.backlog
 	c.backlog = nil
 	c.mu.Unlock()
-	for _, m := range backlog {
-		fn(JID(m.From), m.ID, m.Body)
+	for i := range backlog {
+		fn(JID(backlog[i].From), backlog[i].ID, backlog[i].bodyString())
+	}
+}
+
+// OnMessageRaw sets a byte-oriented inbound message handler (preferred over
+// OnMessage when both are set). The body slice is freshly allocated per
+// message and owned by the handler — binary frames hand over their payload
+// without any base64 or string detour.
+func (c *Client) OnMessageRaw(fn func(from JID, id string, body []byte)) {
+	c.mu.Lock()
+	c.onMessageRaw = fn
+	backlog := c.backlog
+	c.backlog = nil
+	c.mu.Unlock()
+	for i := range backlog {
+		fn(JID(backlog[i].From), backlog[i].ID, backlog[i].rawBody())
 	}
 }
 
@@ -135,14 +178,86 @@ func (c *Client) OnDisconnect(fn func(err error)) {
 
 // SendMessage sends a message stanza. Delivery is best-effort at this layer.
 func (c *Client) SendMessage(to JID, id, body string) error {
-	return c.write(messageStanza{To: to.String(), ID: id, Body: body})
+	return c.SendMessageBytes(to, id, []byte(body), "")
 }
 
 // SendMessageTraced is SendMessage with a trace attribute (TraceAttr form)
 // stamped on the stanza so the switchboard can record causal hops. An empty
 // trace emits a stanza byte-identical to SendMessage's.
 func (c *Client) SendMessageTraced(to JID, id, body, trace string) error {
-	return c.write(messageStanza{To: to.String(), ID: id, T: trace, Body: body})
+	return c.SendMessageBytes(to, id, []byte(body), trace)
+}
+
+// SendMessageBytes sends a message with an arbitrary byte body. On a
+// frame-negotiated connection the body travels verbatim in a binary frame;
+// to a legacy server, binary-unsafe bodies fall back to "b:"+base64 XML
+// character data and text bodies travel as plain XML.
+func (c *Client) SendMessageBytes(to JID, id string, body []byte, trace string) error {
+	bp := getWireBuf()
+	buf, err := c.appendMessage((*bp)[:0], to, id, body, trace)
+	if err != nil {
+		putWireBuf(bp, nil)
+		return err
+	}
+	c.writeMu.Lock()
+	_, err = c.conn.Write(buf)
+	c.writeMu.Unlock()
+	putWireBuf(bp, buf)
+	return err
+}
+
+// SendMessages coalesces a whole batch into one conn.Write — one syscall and
+// one TCP segment train per flush instead of one per destination. It returns
+// how many messages (a strict prefix) were fully written; on a mid-batch
+// connection cut the remainder was never accepted and the caller's
+// retransmission machinery re-sends it.
+func (c *Client) SendMessages(msgs []RawMessage) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	bp := getWireBuf()
+	buf := (*bp)[:0]
+	ends := make([]int, len(msgs))
+	var err error
+	for i := range msgs {
+		if buf, err = c.appendMessage(buf, msgs[i].To, msgs[i].ID, msgs[i].Body, msgs[i].Trace); err != nil {
+			putWireBuf(bp, nil)
+			return 0, err
+		}
+		ends[i] = len(buf)
+	}
+	c.writeMu.Lock()
+	n, err := c.conn.Write(buf)
+	c.writeMu.Unlock()
+	putWireBuf(bp, buf)
+	if err == nil {
+		return len(msgs), nil
+	}
+	k := 0
+	for k < len(msgs) && ends[k] <= n {
+		k++
+	}
+	return k, err
+}
+
+// appendMessage appends one message in the representation the connection
+// negotiated.
+func (c *Client) appendMessage(dst []byte, to JID, id string, body []byte, trace string) ([]byte, error) {
+	if c.binOK {
+		return appendFrame(dst, to.String(), "", id, trace, body), nil
+	}
+	m := messageStanza{To: to.String(), ID: id, T: trace}
+	if bodyIsXMLSafe(body) {
+		m.Body = string(body)
+	} else {
+		m.Body = bodyWrapPrefix + base64.StdEncoding.EncodeToString(body)
+	}
+	b, err := marshalStanza(m)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
 }
 
 // Roster fetches the user's contact list from the server.
@@ -196,40 +311,56 @@ func (c *Client) write(v any) error {
 	return err
 }
 
+func (c *Client) dispatchMessage(m messageStanza) {
+	c.mu.Lock()
+	onMsg, onRaw, onErr := c.onMessage, c.onMessageRaw, c.onError
+	if m.Type != "error" && onMsg == nil && onRaw == nil && len(c.backlog) < 256 {
+		// No handler yet (session-resumption replay races handler
+		// registration): hold the message for OnMessage/OnMessageRaw.
+		c.backlog = append(c.backlog, m)
+	}
+	c.mu.Unlock()
+	switch {
+	case m.Type == "error":
+		if onErr != nil {
+			onErr(m.ID, m.bodyString())
+		}
+	case onRaw != nil:
+		onRaw(JID(m.From), m.ID, m.rawBody())
+	case onMsg != nil:
+		onMsg(JID(m.From), m.ID, m.bodyString())
+	}
+}
+
 func (c *Client) readLoop() {
 	defer close(c.done)
 	var loopErr error
 	for {
-		tok, err := nextStart(c.dec)
+		m, isFrame, line, err := c.sr.next()
 		if err != nil {
 			loopErr = err
 			break
 		}
-		switch tok.Name.Local {
+		if isFrame {
+			c.dispatchMessage(m)
+			continue
+		}
+		switch name := elementName(line); name {
 		case "message":
-			var m messageStanza
-			if err := c.dec.DecodeElement(&m, &tok); err != nil {
-				loopErr = err
-				break
-			}
-			c.mu.Lock()
-			onMsg, onErr := c.onMessage, c.onError
-			if m.Type != "error" && onMsg == nil && len(c.backlog) < 256 {
-				// No handler yet (session-resumption replay races handler
-				// registration): hold the message for OnMessage.
-				c.backlog = append(c.backlog, m)
-			}
-			c.mu.Unlock()
-			if m.Type == "error" {
-				if onErr != nil {
-					onErr(m.ID, m.Body)
+			mm, ok := parseMessageLine(line)
+			if !ok {
+				// Shapes the fast path does not recognize (attribute escapes,
+				// self-closed bodies, peer idiosyncrasies) take the full XML
+				// decoder.
+				if err := xml.Unmarshal(line, &mm); err != nil {
+					loopErr = err
+					break
 				}
-			} else if onMsg != nil {
-				onMsg(JID(m.From), m.ID, m.Body)
 			}
+			c.dispatchMessage(mm)
 		case "presence":
 			var p presenceStanza
-			if err := c.dec.DecodeElement(&p, &tok); err != nil {
+			if err := xml.Unmarshal(line, &p); err != nil {
 				loopErr = err
 				break
 			}
@@ -241,7 +372,7 @@ func (c *Client) readLoop() {
 			}
 		case "iq":
 			var iq iqStanza
-			if err := c.dec.DecodeElement(&iq, &tok); err != nil {
+			if err := xml.Unmarshal(line, &iq); err != nil {
 				loopErr = err
 				break
 			}
@@ -258,11 +389,10 @@ func (c *Client) readLoop() {
 					ch <- items
 				}
 			}
+		case "":
+			loopErr = errors.New("xmpp: malformed stanza line")
 		default:
-			if err := c.dec.Skip(); err != nil {
-				loopErr = err
-				break
-			}
+			// Unknown stanza kinds are skipped, as the streaming decoder did.
 		}
 		if loopErr != nil {
 			break

@@ -1,0 +1,275 @@
+package xmpp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// legacyPeer simulates a pre-frame client: it speaks the original protocol
+// verbatim — an XML stream header without the bin attribute, one stanza per
+// line, and binary bodies wrapped as "b:"+base64. The server must keep such
+// peers fully interoperable with frame-capable ones.
+type legacyPeer struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialLegacy(t *testing.T, s *Server, user, pass string) *legacyPeer {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	p := &legacyPeer{t: t, conn: conn, br: bufio.NewReader(conn)}
+
+	if _, err := conn.Write([]byte(`<stream to="` + Domain + `">` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	greeting := p.readLine()
+	if !strings.Contains(greeting, `bin="1"`) {
+		t.Fatalf("server greeting does not advertise binary frames: %q", greeting)
+	}
+	b, err := xml.Marshal(authStanza{User: user, Password: pass, Resource: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(b, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	resp := p.readLine()
+	if elementName([]byte(resp)) != "success" {
+		t.Fatalf("legacy auth failed: %q", resp)
+	}
+	return p
+}
+
+func (p *legacyPeer) readLine() string {
+	p.t.Helper()
+	p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := p.br.ReadString('\n')
+	if err != nil {
+		p.t.Fatalf("legacy read: %v", err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (p *legacyPeer) send(to JID, id, body string) {
+	p.t.Helper()
+	b, err := xml.Marshal(messageStanza{To: to.String(), ID: id, Body: body})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	if _, err := p.conn.Write(append(b, '\n')); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+// readMessage reads stanza lines, skipping presence/iq, until a message
+// arrives. It fails the test if a binary frame shows up: legacy peers must
+// never see frames.
+func (p *legacyPeer) readMessage() messageStanza {
+	p.t.Helper()
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		first, err := p.br.Peek(1)
+		if err != nil {
+			p.t.Fatalf("legacy peek: %v", err)
+		}
+		if first[0] == frameMagic {
+			p.t.Fatal("server sent a binary frame to a legacy session")
+		}
+		line := p.readLine()
+		if elementName([]byte(line)) != "message" {
+			continue
+		}
+		var m messageStanza
+		if err := xml.Unmarshal([]byte(line), &m); err != nil {
+			p.t.Fatalf("legacy unmarshal %q: %v", line, err)
+		}
+		return m
+	}
+}
+
+// binaryPayload is deliberately hostile to XML: control bytes, a NUL, and an
+// invalid UTF-8 sequence.
+var binaryPayload = []byte{0x00, 0x01, 'p', 'o', 'g', 'o', 0xff, 0xfe, '\n', 0x7f}
+
+// TestCompatBinaryToLegacyRewrap: a frame-capable sender's binary body must
+// reach a legacy session as "b:"+base64 XML character data.
+func TestCompatBinaryToLegacyRewrap(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	s.AddAccount("alice", "pw")
+	s.AddAccount("bob", "pw")
+	s.Associate("alice", "bob")
+
+	legacy := dialLegacy(t, s, "bob", "pw")
+	alice := dial(t, s, "alice", "pw")
+	if !alice.BinaryCapable() {
+		t.Fatal("new client did not negotiate binary frames with new server")
+	}
+
+	if err := alice.SendMessageBytes(MakeJID("bob"), "m1", binaryPayload, ""); err != nil {
+		t.Fatal(err)
+	}
+	m := legacy.readMessage()
+	if !strings.HasPrefix(m.Body, "b:") {
+		t.Fatalf("legacy body not base64-wrapped: %q", m.Body)
+	}
+	got, err := base64.StdEncoding.DecodeString(m.Body[2:])
+	if err != nil {
+		t.Fatalf("legacy body not valid base64: %v", err)
+	}
+	if !bytes.Equal(got, binaryPayload) {
+		t.Fatalf("payload mangled: got %x want %x", got, binaryPayload)
+	}
+}
+
+// TestCompatLegacyToBinaryPassthrough: a legacy sender's stanzas — plain
+// text and "b:"-wrapped alike — must reach a frame-capable recipient with
+// the body bytes unchanged (unwrapping is the upper layer's job).
+func TestCompatLegacyToBinaryPassthrough(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	s.AddAccount("alice", "pw")
+	s.AddAccount("bob", "pw")
+	s.Associate("alice", "bob")
+
+	alice := dial(t, s, "alice", "pw")
+	var mu sync.Mutex
+	var got [][]byte
+	alice.OnMessageRaw(func(_ JID, _ string, body []byte) {
+		mu.Lock()
+		got = append(got, append([]byte(nil), body...))
+		mu.Unlock()
+	})
+
+	legacy := dialLegacy(t, s, "bob", "pw")
+	legacy.send(MakeJID("alice"), "t1", "hello from the past")
+	wrapped := "b:" + base64.StdEncoding.EncodeToString(binaryPayload)
+	legacy.send(MakeJID("alice"), "t2", wrapped)
+
+	waitFor(t, "both legacy stanzas", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if string(got[0]) != "hello from the past" {
+		t.Errorf("text body mangled: %q", got[0])
+	}
+	if string(got[1]) != wrapped {
+		t.Errorf("wrapped body not passed through verbatim: %q", got[1])
+	}
+}
+
+// TestCompatBinaryToBinaryFrames: between two frame-capable peers a hostile
+// binary body must survive byte-for-byte, with no base64 anywhere.
+func TestCompatBinaryToBinaryFrames(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	s.AddAccount("alice", "pw")
+	s.AddAccount("bob", "pw")
+	s.Associate("alice", "bob")
+
+	bob := dial(t, s, "bob", "pw")
+	var mu sync.Mutex
+	var got []byte
+	bob.OnMessageRaw(func(_ JID, _ string, body []byte) {
+		mu.Lock()
+		got = append([]byte(nil), body...)
+		mu.Unlock()
+	})
+
+	alice := dial(t, s, "alice", "pw")
+	if err := alice.SendMessageBytes(MakeJID("bob"), "f1", binaryPayload, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "framed delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got != nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, binaryPayload) {
+		t.Fatalf("frame payload mangled: got %x want %x", got, binaryPayload)
+	}
+}
+
+// TestCompatClientFallbackToLegacyServer: against a server whose greeting
+// lacks the bin attribute, the client must not emit frames — binary bodies
+// go out as "b:"+base64 XML.
+func TestCompatClientFallbackToLegacyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		line string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		br := bufio.NewReader(conn)
+		if _, err := br.ReadString('\n'); err != nil { // stream open
+			ch <- result{err: err}
+			return
+		}
+		// Legacy greeting: no bin attribute.
+		conn.Write([]byte(`<stream from="` + Domain + `">` + "\n"))
+		if _, err := br.ReadString('\n'); err != nil { // auth
+			ch <- result{err: err}
+			return
+		}
+		conn.Write([]byte(`<success jid="alice@pogo/r"></success>` + "\n"))
+		line, err := br.ReadString('\n') // the message under test
+		ch <- result{line: line, err: err}
+	}()
+
+	c, err := Dial(ln.Addr().String(), "alice", "pw", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.BinaryCapable() {
+		t.Fatal("client negotiated frames with a legacy server")
+	}
+	if err := c.SendMessageBytes(MakeJID("bob"), "x1", binaryPayload, ""); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.line[0] == frameMagic {
+		t.Fatal("client sent a frame to a legacy server")
+	}
+	var m messageStanza
+	if err := xml.Unmarshal([]byte(strings.TrimRight(r.line, "\n")), &m); err != nil {
+		t.Fatalf("unmarshal %q: %v", r.line, err)
+	}
+	if !strings.HasPrefix(m.Body, "b:") {
+		t.Fatalf("binary body not wrapped for legacy server: %q", m.Body)
+	}
+	got, err := base64.StdEncoding.DecodeString(m.Body[2:])
+	if err != nil || !bytes.Equal(got, binaryPayload) {
+		t.Fatalf("wrapped payload mangled: %x err=%v", got, err)
+	}
+}

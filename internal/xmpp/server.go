@@ -1,6 +1,7 @@
 package xmpp
 
 import (
+	"encoding/base64"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -232,6 +233,10 @@ type session struct {
 	user string
 	jid  JID
 	conn net.Conn
+	// bin records that the client's stream header negotiated binary message
+	// frames; binary bodies routed to it travel framed instead of
+	// base64-wrapped.
+	bin bool
 
 	writeMu sync.Mutex
 }
@@ -247,26 +252,58 @@ func (sess *session) send(v any) error {
 	return err
 }
 
+// sendMessage writes a message stanza in the representation this session
+// negotiated: binary bodies go framed to frame-capable clients and fall back
+// to "b:"+base64 XML character data for legacy ones; text bodies pass
+// through as plain XML either way.
+func (sess *session) sendMessage(m *messageStanza) error {
+	if m.bodyRaw == nil {
+		return sess.send(*m)
+	}
+	if sess.bin {
+		bp := getWireBuf()
+		buf := appendFrame((*bp)[:0], m.To, m.From, m.ID, m.T, m.bodyRaw)
+		sess.writeMu.Lock()
+		_, err := sess.conn.Write(buf)
+		sess.writeMu.Unlock()
+		putWireBuf(bp, buf)
+		return err
+	}
+	m2 := *m
+	m2.bodyRaw = nil
+	m2.Body = bodyWrapPrefix + base64.StdEncoding.EncodeToString(m.bodyRaw)
+	return sess.send(m2)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := xml.NewDecoder(conn)
+	sr := newStanzaReader(conn)
 	conn.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 
 	// Stream open.
-	var hdr streamHeader
-	if err := expectElement(dec, "stream", &hdr); err != nil {
+	_, isFrame, line, err := sr.next()
+	if err != nil || isFrame {
 		return
 	}
-	if _, err := conn.Write([]byte(`<stream from="` + Domain + `">` + "\n")); err != nil {
+	hdr, ok := parseStreamHeader(line)
+	if !ok {
+		return
+	}
+	clientBin := hdr.Bin == streamBinAttr
+	if _, err := conn.Write(streamOpenLine("from", Domain)); err != nil {
 		return
 	}
 
 	// Authentication.
-	var auth authStanza
-	if err := expectElement(dec, "auth", &auth); err != nil {
+	_, isFrame, line, err = sr.next()
+	if err != nil || isFrame || elementName(line) != "auth" {
 		return
 	}
-	sess, failReason := s.authenticate(&auth, conn)
+	var auth authStanza
+	if err := xml.Unmarshal(line, &auth); err != nil {
+		return
+	}
+	sess, failReason := s.authenticate(&auth, conn, clientBin)
 	if sess == nil {
 		b, _ := marshalStanza(failureStanza{Reason: failReason})
 		conn.Write(append(b, '\n'))
@@ -288,41 +325,48 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	// Stanza loop.
 	for {
-		tok, err := nextStart(dec)
+		m, isFrame, line, err := sr.next()
 		if err != nil {
 			return
 		}
-		switch tok.Name.Local {
-		case "message":
-			var m messageStanza
-			if err := dec.DecodeElement(&m, &tok); err != nil {
-				return
-			}
+		if isFrame {
 			s.routeMessage(sess, m)
+			continue
+		}
+		switch elementName(line) {
+		case "message":
+			mm, ok := parseMessageLine(line)
+			if !ok {
+				if err := xml.Unmarshal(line, &mm); err != nil {
+					return
+				}
+			}
+			s.routeMessage(sess, mm)
 		case "iq":
 			var iq iqStanza
-			if err := dec.DecodeElement(&iq, &tok); err != nil {
+			if err := xml.Unmarshal(line, &iq); err != nil {
 				return
 			}
 			s.handleIQ(sess, iq)
 		case "presence":
 			var p presenceStanza
-			if err := dec.DecodeElement(&p, &tok); err != nil {
+			if err := xml.Unmarshal(line, &p); err != nil {
 				return
 			}
 			// Explicit unavailable presence ends the session politely.
 			if p.Type == "unavailable" {
 				return
 			}
+		case "":
+			// Not a stanza line at all: protocol violation, hang up.
+			return
 		default:
-			if err := dec.Skip(); err != nil {
-				return
-			}
+			// Unknown stanza kinds are skipped, as the streaming decoder did.
 		}
 	}
 }
 
-func (s *Server) authenticate(auth *authStanza, conn net.Conn) (*session, string) {
+func (s *Server) authenticate(auth *authStanza, conn net.Conn, bin bool) (*session, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -353,6 +397,7 @@ func (s *Server) authenticate(auth *authStanza, conn net.Conn) (*session, string
 		user: auth.User,
 		jid:  JID(auth.User + "@" + Domain + "/" + resource),
 		conn: conn,
+		bin:  bin,
 	}
 	s.sessions[auth.User] = sess
 	s.obsSessions.Set(float64(len(s.sessions)))
@@ -391,7 +436,7 @@ func (s *Server) routeMessage(from *session, m messageStanza) {
 		s.bounce(from, m.ID, "recipient-offline")
 		return
 	}
-	if err := dst.send(m); err != nil {
+	if err := dst.sendMessage(&m); err != nil {
 		// The recipient's TCP session went stale underneath us (§4.6's
 		// interface-handover failure).
 		if s.cfg.OfflineQueue > 0 {
@@ -441,7 +486,7 @@ func (s *Server) replayQueued(sess *session) {
 	delete(s.queues, sess.user)
 	s.mu.Unlock()
 	for i, m := range queued {
-		if err := sess.send(m); err != nil {
+		if err := sess.sendMessage(&m); err != nil {
 			s.mu.Lock()
 			s.queues[sess.user] = append(queued[i:], s.queues[sess.user]...)
 			s.mu.Unlock()

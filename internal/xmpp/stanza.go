@@ -48,11 +48,14 @@ func (j JID) User() string {
 // String returns the JID text.
 func (j JID) String() string { return string(j) }
 
-// streamHeader opens an XML stream in either direction.
+// streamHeader opens an XML stream in either direction. Bin advertises
+// binary message-frame support ("1"); absent on legacy peers, which
+// therefore never receive frames.
 type streamHeader struct {
 	XMLName xml.Name `xml:"stream"`
 	To      string   `xml:"to,attr,omitempty"`
 	From    string   `xml:"from,attr,omitempty"`
+	Bin     string   `xml:"bin,attr,omitempty"`
 }
 
 // authStanza carries simplified PLAIN credentials and the desired resource.
@@ -95,6 +98,29 @@ type messageStanza struct {
 	Type    string   `xml:"type,attr,omitempty"`
 	T       string   `xml:"t,attr,omitempty"`
 	Body    string   `xml:"body"`
+
+	// bodyRaw, when non-nil, holds the body as raw bytes from a binary
+	// message frame (Body is then empty). It is invisible to the XML codec;
+	// writers pick the representation per recipient: a frame to a
+	// frame-capable peer, "b:"+base64 XML to a legacy one.
+	bodyRaw []byte
+}
+
+// rawBody returns the stanza's body as bytes, whatever representation it
+// arrived in. The returned slice is owned by the stanza.
+func (m *messageStanza) rawBody() []byte {
+	if m.bodyRaw != nil {
+		return m.bodyRaw
+	}
+	return []byte(m.Body)
+}
+
+// bodyString returns the stanza's body as a string.
+func (m *messageStanza) bodyString() string {
+	if m.bodyRaw != nil {
+		return string(m.bodyRaw)
+	}
+	return m.Body
 }
 
 // TraceAttr renders a batch's trace IDs as the stanza t attribute:

@@ -1,0 +1,499 @@
+// Stanza wire framing: newline-delimited XML with an optional binary frame
+// fast path.
+//
+// Every stanza this implementation writes is a single line — xml.Marshal
+// escapes CR/LF in both attributes and character data — so the reader is
+// line-oriented rather than a streaming XML decoder. That removes the
+// token-by-token decoder allocations from the per-message path and lets the
+// reader sniff each stanza's representation from its first byte:
+//
+//	'<'   an XML stanza line (legacy peers, and all non-message stanzas)
+//	0xB3  a binary message frame (negotiated, see below)
+//
+// Binary message frames carry Pogo's binary-codec envelopes without the
+// base64 detour XML character data used to force (+33% bytes and an
+// encode/decode pass per hop). Frame layout, after the 0xB3 magic:
+//
+//	uvarint len + bytes  × 4:  to, from, id, trace-attr
+//	uvarint len + bytes:       body (arbitrary bytes)
+//	'\n'                       terminator (framing self-check)
+//
+// Frames are only sent to peers that negotiated them: both stream headers
+// carry a bin="1" attribute when the speaker understands frames, and each
+// side sends frames only after seeing the peer's. A legacy peer therefore
+// never observes a frame; binary bodies routed to it are re-wrapped as
+// "b:" + base64 XML character data exactly as before (version-sniffed
+// fallback). 0xB3 cannot begin an XML stanza ('<' is 0x3C) and cannot begin
+// a legacy line (stanza lines start with '<'), so the sniff is unambiguous.
+package xmpp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"unicode/utf8"
+)
+
+// frameMagic is the first byte of a binary message frame. It is deliberately
+// outside the valid-UTF-8-start range of any stanza line.
+const frameMagic = 0xB3
+
+// streamBinAttr is the stream-header attribute value advertising frame
+// support.
+const streamBinAttr = "1"
+
+// bodyWrapPrefix marks an XML body carrying a base64-wrapped binary payload
+// (the legacy fallback). It cannot collide with a CRC-framed transport
+// payload: those put their ':' at offset 8, not 1.
+const bodyWrapPrefix = "b:"
+
+// Wire size bounds: hostile peers must not make the reader allocate
+// unboundedly off a forged length prefix.
+const (
+	maxLineLen    = 1 << 20 // one XML stanza line
+	maxFrameField = 1 << 12 // to / from / id / trace attr
+	maxFrameBody  = 1 << 24 // message body
+)
+
+var errFrameTooBig = errors.New("xmpp: frame field exceeds limit")
+
+// wireBufPool recycles stanza write buffers (XML lines, binary frames, and
+// coalesced batch writes), so steady-state sends allocate nothing for
+// framing.
+var wireBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+func putWireBuf(bp *[]byte, buf []byte) {
+	if buf != nil {
+		*bp = buf[:0]
+	}
+	wireBufPool.Put(bp)
+}
+
+// appendFrame appends one binary message frame to dst.
+func appendFrame(dst []byte, to, from, id, trace string, body []byte) []byte {
+	dst = append(dst, frameMagic)
+	dst = appendFrameStr(dst, to)
+	dst = appendFrameStr(dst, from)
+	dst = appendFrameStr(dst, id)
+	dst = appendFrameStr(dst, trace)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	return append(dst, '\n')
+}
+
+func appendFrameStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// bodyIsXMLSafe reports whether payload can travel as XML character data:
+// XML 1.0 forbids most control characters, and binary-codec envelopes are
+// full of them. JSON-codec frames are plain ASCII and pass through
+// unwrapped, byte-for-byte compatible with pre-codec peers.
+func bodyIsXMLSafe(payload []byte) bool {
+	for _, c := range payload {
+		if c < 0x20 && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	return utf8.Valid(payload)
+}
+
+// stanzaReader reads one stanza at a time off a connection, sniffing each
+// stanza's representation from its first byte. It owns all read buffering on
+// the connection (nothing else may read concurrently).
+type stanzaReader struct {
+	r *bufio.Reader
+}
+
+func newStanzaReader(r io.Reader) *stanzaReader {
+	return &stanzaReader{r: bufio.NewReaderSize(r, 4096)}
+}
+
+// next returns the next stanza: either a binary message frame (isFrame true,
+// m populated — its body buffer is freshly allocated and owned by the
+// caller) or one XML line (isFrame false; line aliases the reader's buffer
+// and is valid only until the next call).
+func (sr *stanzaReader) next() (m messageStanza, isFrame bool, line []byte, err error) {
+	for {
+		b, err := sr.r.Peek(1)
+		if err != nil {
+			return messageStanza{}, false, nil, err
+		}
+		switch b[0] {
+		case '\n', '\r':
+			sr.r.Discard(1) // tolerate blank separator lines
+		case frameMagic:
+			m, err := sr.readFrame()
+			return m, true, nil, err
+		default:
+			line, err := sr.readLine()
+			return messageStanza{}, false, line, err
+		}
+	}
+}
+
+// readFrame parses one binary message frame (the magic byte is still
+// unconsumed).
+func (sr *stanzaReader) readFrame() (messageStanza, error) {
+	sr.r.Discard(1)
+	var m messageStanza
+	var err error
+	if m.To, err = sr.readFrameStr(); err != nil {
+		return m, err
+	}
+	if m.From, err = sr.readFrameStr(); err != nil {
+		return m, err
+	}
+	if m.ID, err = sr.readFrameStr(); err != nil {
+		return m, err
+	}
+	if m.T, err = sr.readFrameStr(); err != nil {
+		return m, err
+	}
+	n, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return m, err
+	}
+	if n > maxFrameBody {
+		return m, errFrameTooBig
+	}
+	// The body is the one deliberate copy on this path: it outlives the read
+	// buffer (the transport aliases decoded values straight into it), so it
+	// must be a fresh GC-owned allocation handed to the consumer.
+	body := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, body); err != nil {
+		return m, err
+	}
+	nl, err := sr.r.ReadByte()
+	if err != nil {
+		return m, err
+	}
+	if nl != '\n' {
+		return m, errors.New("xmpp: unterminated frame")
+	}
+	m.bodyRaw = body
+	return m, nil
+}
+
+func (sr *stanzaReader) readFrameStr() (string, error) {
+	n, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxFrameField {
+		return "", errFrameTooBig
+	}
+	if n == 0 {
+		return "", nil
+	}
+	// Small fields fit the read buffer: Peek + copy-to-string is one
+	// allocation, with no intermediate []byte.
+	if b, err := sr.r.Peek(int(n)); err == nil {
+		s := string(b)
+		sr.r.Discard(int(n))
+		return s, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// readLine reads one newline-terminated stanza line, tolerating lines larger
+// than the read buffer up to maxLineLen. The returned slice aliases the
+// reader's buffer when the line fits (the common case).
+func (sr *stanzaReader) readLine() ([]byte, error) {
+	line, err := sr.r.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(line), nil
+	}
+	if err != bufio.ErrBufferFull {
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	buf := append([]byte(nil), line...)
+	for {
+		line, err = sr.r.ReadSlice('\n')
+		buf = append(buf, line...)
+		if len(buf) > maxLineLen {
+			return nil, errors.New("xmpp: stanza line too long")
+		}
+		if err == nil {
+			return trimEOL(buf), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+func trimEOL(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line
+}
+
+// elementName returns the start element's local name for a stanza line, or
+// "" when the line is not an XML start element.
+func elementName(line []byte) string {
+	if len(line) == 0 || line[0] != '<' {
+		return ""
+	}
+	i := 1
+	for i < len(line) {
+		c := line[i]
+		if c == ' ' || c == '\t' || c == '>' || c == '/' {
+			break
+		}
+		i++
+	}
+	if i == 1 {
+		return ""
+	}
+	return string(line[1:i])
+}
+
+// scanAttrs walks the name="value" attributes of a start tag, invoking fn
+// with raw (still-escaped) value bytes. It returns the offset just past the
+// tag's closing '>' (with selfClosed set for <.../> tags), or ok=false on
+// any syntax it does not understand — callers fall back to encoding/xml.
+func scanAttrs(line []byte, fn func(name string, rawValue []byte)) (rest int, selfClosed, ok bool) {
+	i := 1
+	// Skip the element name.
+	for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '>' && line[i] != '/' {
+		i++
+	}
+	for {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			return 0, false, false
+		}
+		if line[i] == '>' {
+			return i + 1, false, true
+		}
+		if line[i] == '/' {
+			if i+1 < len(line) && line[i+1] == '>' {
+				return i + 2, true, true
+			}
+			return 0, false, false
+		}
+		nameStart := i
+		for i < len(line) && line[i] != '=' && line[i] != ' ' && line[i] != '>' {
+			i++
+		}
+		if i >= len(line) || line[i] != '=' {
+			return 0, false, false
+		}
+		name := line[nameStart:i]
+		i++
+		if i >= len(line) || (line[i] != '"' && line[i] != '\'') {
+			return 0, false, false
+		}
+		quote := line[i]
+		i++
+		valStart := i
+		for i < len(line) && line[i] != quote {
+			i++
+		}
+		if i >= len(line) {
+			return 0, false, false
+		}
+		fn(string(name), line[valStart:i])
+		i++
+	}
+}
+
+// unescapeXML resolves the XML entities our marshaler (and any conforming
+// peer) can emit. Input without '&' is returned with a single string copy.
+func unescapeXML(b []byte) (string, bool) {
+	amp := -1
+	for i, c := range b {
+		if c == '&' {
+			amp = i
+			break
+		}
+	}
+	if amp < 0 {
+		return string(b), true
+	}
+	var sb strings.Builder
+	sb.Grow(len(b))
+	sb.Write(b[:amp])
+	i := amp
+	for i < len(b) {
+		c := b[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		end := -1
+		for j := i + 1; j < len(b) && j <= i+10; j++ {
+			if b[j] == ';' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return "", false
+		}
+		ent := string(b[i+1 : end])
+		switch ent {
+		case "amp":
+			sb.WriteByte('&')
+		case "lt":
+			sb.WriteByte('<')
+		case "gt":
+			sb.WriteByte('>')
+		case "quot":
+			sb.WriteByte('"')
+		case "apos":
+			sb.WriteByte('\'')
+		default:
+			r, ok := parseCharRef(ent)
+			if !ok {
+				return "", false
+			}
+			sb.WriteRune(r)
+		}
+		i = end + 1
+	}
+	return sb.String(), true
+}
+
+func parseCharRef(ent string) (rune, bool) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, false
+	}
+	var n uint64
+	if ent[1] == 'x' || ent[1] == 'X' {
+		for _, c := range ent[2:] {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, false
+			}
+			n = n<<4 | d
+			if n > utf8.MaxRune {
+				return 0, false
+			}
+		}
+		if len(ent) == 2 {
+			return 0, false
+		}
+	} else {
+		for _, c := range ent[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + uint64(c-'0')
+			if n > utf8.MaxRune {
+				return 0, false
+			}
+		}
+	}
+	return rune(n), true
+}
+
+// parseMessageLine is the hand-rolled fast path for <message> stanza lines:
+// a generic attribute scan plus a strict <body>…</body> tail, with entity
+// unescaping only where an escape actually occurs. Returns ok=false on any
+// shape it does not recognize; callers then fall back to encoding/xml, so
+// the fast path never has to be complete, only correct.
+func parseMessageLine(line []byte) (messageStanza, bool) {
+	var m messageStanza
+	attrsOK := true
+	rest, selfClosed, ok := scanAttrs(line, func(name string, raw []byte) {
+		v, vok := unescapeXML(raw)
+		if !vok {
+			attrsOK = false
+			return
+		}
+		switch name {
+		case "from":
+			m.From = v
+		case "to":
+			m.To = v
+		case "id":
+			m.ID = v
+		case "type":
+			m.Type = v
+		case "t":
+			m.T = v
+		}
+	})
+	if !ok || !attrsOK {
+		return messageStanza{}, false
+	}
+	if selfClosed {
+		if rest != len(line) {
+			return messageStanza{}, false
+		}
+		return m, true
+	}
+	tail := line[rest:]
+	const openTag, closeTag = "<body>", "</body></message>"
+	if len(tail) < len(openTag)+len(closeTag) ||
+		string(tail[:len(openTag)]) != openTag ||
+		string(tail[len(tail)-len(closeTag):]) != closeTag {
+		return messageStanza{}, false
+	}
+	body, bok := unescapeXML(tail[len(openTag) : len(tail)-len(closeTag)])
+	if !bok {
+		return messageStanza{}, false
+	}
+	m.Body = body
+	return m, true
+}
+
+// parseStreamHeader parses a stream-open line: `<stream to="..." bin="1">`.
+// Stream elements stay open for the connection's lifetime, so they are never
+// well-formed standalone XML — attributes are always scanned by hand.
+func parseStreamHeader(line []byte) (hdr streamHeader, ok bool) {
+	if elementName(line) != "stream" {
+		return hdr, false
+	}
+	attrsOK := true
+	_, _, ok = scanAttrs(line, func(name string, raw []byte) {
+		v, vok := unescapeXML(raw)
+		if !vok {
+			attrsOK = false
+			return
+		}
+		switch name {
+		case "to":
+			hdr.To = v
+		case "from":
+			hdr.From = v
+		case "bin":
+			hdr.Bin = v
+		}
+	})
+	return hdr, ok && attrsOK
+}
+
+// streamOpenLine renders a stream header advertising frame support.
+func streamOpenLine(attr, value string) []byte {
+	return []byte(fmt.Sprintf(`<stream %s=%q bin=%q>`+"\n", attr, value, streamBinAttr))
+}
