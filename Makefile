@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate check chaos connscale connscale-smoke determinism fleet fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo doctor-smoke
+.PHONY: build test bench bench-gate check chaos connscale connscale-smoke determinism fleet fleet-smoke fleet-scale fuzz-smoke scenario stdout-guard latency-gate flight-smoke trace-demo doctor-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,13 @@ bench:
 # (allocation counts are machine-independent, so a real increase is a code
 # regression); ns/op deltas are printed but advisory. After an intentional
 # change, refresh the baseline with `go run ./cmd/pogo-bench -run hotpath`
-# and commit the new JSON.
+# and commit the new JSON. The fleet gate applies the same policy to the
+# per-device memory diet: fleet_bytes_per_phone or allocs_per_delivery more
+# than 15% worse than the BENCH_fleet.json 2000-phone row fails; wall-clock
+# is advisory. Refresh with `go run ./cmd/pogo-bench -run fleet`.
 bench-gate:
 	$(GO) run ./cmd/pogo-bench -run hotpath -gate
+	$(GO) run ./cmd/pogo-bench -run fleet -gate
 
 # connscale records the connections-vs-throughput sweep (1k/10k/100k
 # simulated concurrent XMPP connections through memnet, each a full
@@ -44,6 +48,7 @@ check: stdout-guard
 	$(MAKE) scenario
 	$(MAKE) determinism
 	$(MAKE) fleet
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-gate
 	$(MAKE) connscale-smoke
 	$(MAKE) latency-gate
@@ -84,6 +89,21 @@ fleet:
 	@cmp /tmp/pogo-fleet-a.log /tmp/pogo-fleet-b.log \
 		&& echo "fleet: delivery logs byte-identical across same-seed runs" \
 		|| (echo "fleet: same-seed runs diverged"; exit 1)
+
+# fleet-smoke is the multi-process determinism check `make check` runs: a
+# 10k-phone fleet split over 2 worker processes (forked pogo-fleet binaries
+# exchanging staged cross-shard traffic at epoch barriers) must reproduce the
+# in-process delivery log bit for bit. Verify-only — baselines untouched.
+fleet-smoke:
+	$(GO) run ./cmd/pogo-fleet -phones 10000 -shards 8 -procs 2 -verify > /dev/null
+	@echo "fleet-smoke: ok"
+
+# fleet-scale records the phones-vs-throughput scaling curve (10k and 100k
+# phones, each serial / sharded / sharded-multi-process) into BENCH_fleet.json
+# alongside the default 2000-phone sweep. The 100k rows take minutes; run
+# manually after changes that touch per-device memory or the epoch barrier.
+fleet-scale:
+	$(GO) run ./cmd/pogo-bench -run fleet -seed 1 -fleet-scale 10000,100000
 
 # scenario runs the txtar-scripted testbed suite under the race detector:
 # every archive in internal/scenario/testdata/scenarios executes twice with

@@ -28,6 +28,9 @@ import (
 )
 
 func main() {
+	// A fleet worker process (forked by FleetMultiproc's exec spawner) serves
+	// the shard protocol on stdin/stdout and never reaches flag parsing.
+	experiments.MaybeFleetWorker()
 	var (
 		run        = flag.String("run", "all", "experiment: table2|table3|table4|figure3|figure4|ablations|all, or pubsub / chaos / fleet / hotpath / latency / connscale (benchmarks, not part of all)")
 		days       = flag.Int("days", 24, "table4: experiment length in days")
@@ -35,6 +38,7 @@ func main() {
 		phones     = flag.Int("phones", 0, "chaos / fleet: testbed size (0 = per-benchmark default: 50 chaos, 2000 fleet)")
 		shards     = flag.Int("shards", 0, "fleet: highest shard count in the sweep (0 = up to 4, or NumCPU when larger)")
 		fleetLog   = flag.String("fleet-log", "", "fleet: write the merged delivery log to this file (make fleet diffs two of these)")
+		fleetScale = flag.String("fleet-scale", "", "fleet: comma-separated extra fleet sizes (e.g. 10000,100000) to record as scaling-curve rows")
 		freeze     = flag.Bool("freeze", false, "table4: enable freeze/thaw state persistence (the post-paper fix)")
 		stats      = flag.Bool("stats", false, "dump the full metrics registry after the experiments")
 		csvDir     = flag.String("csv", "", "write accounting.csv, timeseries.csv, and ledger-derived table3.csv/table4.csv into this directory")
@@ -71,7 +75,7 @@ func main() {
 	if *run == "connscale" {
 		err = runConnscale(*conns, *gate)
 	} else {
-		err = runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *traceOut, *flightOut, *sabotage, *freeze, *gate, *stats, *csvDir)
+		err = runExperiments(*run, *days, *seed, *phones, *shards, *fleetLog, *fleetScale, *traceOut, *flightOut, *sabotage, *freeze, *gate, *stats, *csvDir)
 	}
 	if *memProfile != "" {
 		runtime.GC() // settle the heap so the profile shows retained memory
@@ -93,7 +97,7 @@ func main() {
 	}
 }
 
-func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog, traceOut, flightOut string, sabotage, freeze, gate, stats bool, csvDir string) error {
+func runExperiments(which string, days int, seed int64, phones, shards int, fleetLog, fleetScale, traceOut, flightOut string, sabotage, freeze, gate, stats bool, csvDir string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 	reg := obs.NewRegistry()
@@ -105,7 +109,10 @@ func runExperiments(which string, days int, seed int64, phones, shards int, flee
 		return runChaos(seed, phones, traceOut, flightOut, sabotage)
 	}
 	if which == "fleet" {
-		return runFleet(seed, phones, shards, fleetLog, traceOut)
+		if gate {
+			return gateFleetDiet(seed)
+		}
+		return runFleet(seed, phones, shards, fleetScale, fleetLog, traceOut)
 	}
 	if which == "hotpath" {
 		return runHotpath(gate)
@@ -373,118 +380,6 @@ func runChaos(seed int64, phones int, traceOut, flightOut string, sabotage bool)
 		return err
 	}
 	fmt.Println("baseline written to BENCH_chaos.json")
-	return nil
-}
-
-// fleetBenchRun is one row of BENCH_fleet.json: a FleetResult plus its
-// wall-clock speedup against the 1-shard run of the same sweep.
-type fleetBenchRun struct {
-	experiments.FleetResult
-	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
-}
-
-// fleetBench is the BENCH_fleet.json schema. NumCPU/GOMAXPROCS record the
-// machine the wall-clock figures were taken on: the delivery-log hash is
-// machine-independent (and enforced so below), the speedup is not — it
-// approaches the shard count only when that many cores are actually
-// available.
-type fleetBench struct {
-	Seed       int64           `json:"seed"`
-	Phones     int             `json:"phones"`
-	NumCPU     int             `json:"num_cpu"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Runs       []fleetBenchRun `json:"runs"`
-}
-
-// runFleet sweeps the sharded fleet simulation over shard counts (1, 2, 4, …
-// up to maxShards), hard-fails unless every run preserves the exactly-once
-// delivery guarantee AND produces the same delivery-log hash as the 1-shard
-// run, and records wall-clock throughput + speedup-vs-1-shard to
-// BENCH_fleet.json. With -fleet-log the merged delivery log of the widest run
-// is written out so `make fleet` can diff two same-seed invocations.
-func runFleet(seed int64, phones, maxShards int, logPath, traceOut string) error {
-	if phones == 0 {
-		phones = 2000
-	}
-	if maxShards == 0 {
-		maxShards = 4
-		if n := runtime.NumCPU(); n > maxShards {
-			maxShards = n
-		}
-	}
-	sweep := []int{1}
-	for k := 2; k < maxShards; k *= 2 {
-		sweep = append(sweep, k)
-	}
-	if maxShards > 1 {
-		sweep = append(sweep, maxShards)
-	}
-
-	bench := fleetBench{
-		Seed: seed, Phones: phones,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	var baseHash string
-	var baseWall float64
-	var lastLog []string
-	var lastReg *obs.Registry
-	for i, shards := range sweep {
-		cfg := experiments.FleetScenario(seed, phones, shards)
-		if traceOut != "" {
-			// A fresh registry per run: spans from different shard counts must
-			// not mix (same seed means identical trace IDs across runs).
-			lastReg = obs.NewRegistry()
-			cfg.Obs = lastReg
-		}
-		res := experiments.Fleet(cfg)
-		if res.Lost != 0 || res.Duplicated != 0 || res.OutOfOrder != 0 || res.Undrained != 0 {
-			return fmt.Errorf("fleet shards=%d violated the delivery guarantee: lost=%d dup=%d ooo=%d undrained=%d",
-				shards, res.Lost, res.Duplicated, res.OutOfOrder, res.Undrained)
-		}
-		if i == 0 {
-			baseHash, baseWall = res.LogSHA256, res.WallSeconds
-		} else if res.LogSHA256 != baseHash {
-			return fmt.Errorf("fleet shards=%d: delivery log hash %s differs from 1-shard hash %s (determinism broken)",
-				shards, res.LogSHA256, baseHash)
-		}
-		run := fleetBenchRun{FleetResult: res}
-		if res.WallSeconds > 0 {
-			run.SpeedupVs1Shard = baseWall / res.WallSeconds
-		}
-		bench.Runs = append(bench.Runs, run)
-		lastLog = res.Log
-		fmt.Printf("fleet shards=%d seed=%d phones=%d collectors=%d: %d/%d delivered, epochs=%d, events=%d, cross-shard=%d\n",
-			shards, res.Seed, res.Phones, res.Collectors, res.Delivered, res.Expected,
-			res.Epochs, res.Events, res.CrossShard)
-		fmt.Printf("  %.1f sim-s in %.2f wall-s: %.0f events/s, %.0f deliveries/s, speedup vs 1 shard %.2fx\n",
-			res.SimSeconds, res.WallSeconds, res.EventsPerSec, res.DeliveriesPerSec, run.SpeedupVs1Shard)
-		fmt.Printf("  delivery log sha256: %s\n", res.LogSHA256)
-	}
-	fmt.Printf("determinism: %d shard counts, identical delivery-log hash %s\n", len(sweep), baseHash)
-	if bench.NumCPU < len(sweep) {
-		fmt.Printf("note: only %d CPU(s) available; wall-clock speedup needs as many cores as shards\n", bench.NumCPU)
-	}
-
-	if logPath != "" {
-		data := strings.Join(lastLog, "\n") + "\n"
-		if err := os.WriteFile(logPath, []byte(data), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("delivery log (%d entries) written to %s\n", len(lastLog), logPath)
-	}
-	if traceOut != "" {
-		if err := writeTraceFile(traceOut, lastReg); err != nil {
-			return err
-		}
-	}
-	b, err := json.MarshalIndent(bench, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_fleet.json", append(b, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("baseline written to BENCH_fleet.json")
 	return nil
 }
 

@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -16,23 +14,30 @@ import (
 	"pogo/internal/obs"
 	"pogo/internal/store"
 	"pogo/internal/transport"
+	"pogo/internal/vclock"
 )
 
 // FleetConfig drives the parallel-fleet scenario: the chaos workload —
 // phones uploading to collectors through seeded fault injection, collectors
 // commanding phones back, the hardened transport recovering everything —
-// scaled to thousands of phones and executed across fleet.Engine shards.
+// scaled to thousands of phones and executed across fleet.Engine shards,
+// optionally split over multiple worker processes.
 //
-// Determinism is shard-count-proof by construction: every entity draws its
+// Determinism is partition-proof by construction: every entity draws its
 // faults from its own RNG seeded by (Seed, name), every payload crosses the
 // fabric with the same fixed latency whether or not sender and receiver
-// share a shard, and phone→collector assignment depends only on the phone
-// index. The per-seed delivery log is therefore byte-identical at any Shards
-// and any GOMAXPROCS — `make fleet` enforces exactly that.
+// share a shard (or a process), and phone→collector assignment depends only
+// on the phone index. The per-seed delivery log is therefore byte-identical
+// at any Shards, any Procs, and any GOMAXPROCS — `make fleet` enforces
+// exactly that.
 type FleetConfig struct {
 	Seed   int64
 	Phones int // default 2000
 	Shards int // default 4
+	// Procs splits the shard range over this many worker processes (see
+	// FleetMultiproc). Fleet itself ignores it; it rides in the config so
+	// drivers can carry one value and so workers echo it in results.
+	Procs int
 	// Collectors is the size of the collector cluster phones are hashed
 	// across. It must not default from Shards (that would change the
 	// workload's shape with the partitioning); default Phones/128, clamped
@@ -54,7 +59,15 @@ type FleetConfig struct {
 	Latency    time.Duration
 	RetryAfter time.Duration // endpoint retransmission base; default 15 s
 	DrainLimit time.Duration // extra simulated time to recover losses; default 15 min
-	Obs        *obs.Registry
+
+	// KeepLog materializes FleetResult.Log (one formatted line per delivery).
+	// Off by default: at 100k phones the textual log costs more than the
+	// simulated fleet, and the hash is computed without it.
+	KeepLog bool
+
+	// Obs is never serialized to worker processes; multi-process runs only
+	// instrument the coordinator side.
+	Obs *obs.Registry `json:"-"`
 }
 
 // FleetScenario is the canonical benchmark mix for `pogo-bench -run fleet`:
@@ -69,76 +82,18 @@ func FleetScenario(seed int64, phones, shards int) FleetConfig {
 	}
 }
 
-// FleetResult reports one fleet run. Lost/Duplicated/OutOfOrder must be zero
-// — the delivery guarantee is unchanged from the chaos suite — and LogSHA256
-// must be identical across shard counts and GOMAXPROCS for a given seed.
-type FleetResult struct {
-	Seed             int64    `json:"seed"`
-	Phones           int      `json:"phones"`
-	Collectors       int      `json:"collectors"`
-	Shards           int      `json:"shards"`
-	Expected         int      `json:"expected_deliveries"`
-	Delivered        int      `json:"delivered"`
-	Lost             int      `json:"lost"`
-	Duplicated       int      `json:"duplicated"`
-	OutOfOrder       int      `json:"out_of_order"`
-	Undrained        int      `json:"undrained"`
-	Epochs           int      `json:"epochs"`
-	Events           int64    `json:"events"`
-	FabricMessages   int64    `json:"fabric_messages"`
-	CrossShard       int64    `json:"cross_shard_messages"`
-	SimSeconds       float64  `json:"sim_seconds"`
-	WallSeconds      float64  `json:"wall_seconds"`
-	EventsPerSec     float64  `json:"events_per_wall_second"`
-	DeliveriesPerSec float64  `json:"deliveries_per_wall_second"`
-	// AllocsPerDelivery / BytesPerDelivery are runtime.MemStats deltas over
-	// the simulation run divided by delivered messages — machine-independent,
-	// so they are comparable across baselines in a way wall-clock is not.
-	AllocsPerDelivery float64  `json:"allocs_per_delivery"`
-	BytesPerDelivery  float64  `json:"bytes_per_delivery"`
-	LogSHA256         string   `json:"log_sha256"`
-	Log               []string `json:"-"`
-}
-
-// fleetEntry is one application-level delivery, recorded on the receiver's
-// shard and merged into the global log by content afterwards.
-type fleetEntry struct {
-	at               time.Time
-	receiver, sender string
-	channel          string
-	n                int
-}
-
-func fleetPhoneName(i int) string     { return fmt.Sprintf("phone%04d", i) }
-func fleetCollectorName(i int) string { return fmt.Sprintf("collector%02d", i) }
-
-// fleetEntitySeed derives a per-entity RNG seed from the world seed, so an
-// entity's fault schedule depends only on its own name and traffic — never
-// on which shard it landed in or who shares that shard.
-func fleetEntitySeed(seed int64, name string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return seed ^ int64(h.Sum64())
-}
-
-// fleetCollectorOf assigns phone i to a collector by hashing its name:
-// shard-count-invariant (it never sees Shards) yet decorrelated from the
-// round-robin shard placement, so most phone↔collector pairs genuinely cross
-// shards.
-func fleetCollectorOf(i, collectors int) int {
-	h := fnv.New64a()
-	h.Write([]byte(fleetPhoneName(i)))
-	return int(h.Sum64() % uint64(collectors))
-}
-
-// Fleet runs the sharded parallel fleet scenario. See FleetConfig for the
-// knobs; zero-valued fields take the documented defaults.
-func Fleet(cfg FleetConfig) FleetResult {
+// fleetNormalize applies the documented defaults in place. Idempotent: the
+// multi-process coordinator normalizes before serializing to workers, and
+// workers normalize again on the already-normalized config.
+func fleetNormalize(cfg *FleetConfig) {
 	if cfg.Phones == 0 {
 		cfg.Phones = 2000
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 4
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
 	}
 	if cfg.Collectors == 0 {
 		cfg.Collectors = cfg.Phones / 128
@@ -170,7 +125,340 @@ func Fleet(cfg FleetConfig) FleetResult {
 	if cfg.DrainLimit == 0 {
 		cfg.DrainLimit = 15 * time.Minute
 	}
+}
 
+// FleetResult reports one fleet run. Lost/Duplicated/OutOfOrder must be zero
+// — the delivery guarantee is unchanged from the chaos suite — and LogSHA256
+// must be identical across shard counts, process counts and GOMAXPROCS for a
+// given seed.
+type FleetResult struct {
+	Seed           int64 `json:"seed"`
+	Phones         int   `json:"phones"`
+	Collectors     int   `json:"collectors"`
+	Shards         int   `json:"shards"`
+	Procs          int   `json:"procs"`
+	Expected       int   `json:"expected_deliveries"`
+	Delivered      int   `json:"delivered"`
+	Lost           int   `json:"lost"`
+	Duplicated     int   `json:"duplicated"`
+	OutOfOrder     int   `json:"out_of_order"`
+	Undrained      int   `json:"undrained"`
+	Epochs         int   `json:"epochs"`
+	Events         int64 `json:"events"`
+	FabricMessages int64 `json:"fabric_messages"`
+	CrossShard     int64 `json:"cross_shard_messages"`
+
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the user+system rusage consumed by the run across every
+	// participating process (workers plus coordinator). On a box with fewer
+	// cores than shards the wall-clock speedup is flat, but cpu_seconds still
+	// attributes the work: wall ≈ cpu / min(cores, parallelism).
+	CPUSeconds       float64   `json:"cpu_seconds"`
+	WorkerCPUSeconds []float64 `json:"worker_cpu_seconds,omitempty"`
+	EventsPerSec     float64   `json:"events_per_wall_second"`
+	DeliveriesPerSec float64   `json:"deliveries_per_wall_second"`
+	// AllocsPerDelivery / BytesPerDelivery are runtime.MemStats deltas over
+	// the simulation run divided by delivered messages — machine-independent,
+	// so they are comparable across baselines in a way wall-clock is not.
+	// Multi-process runs sum the deltas of every participating process.
+	AllocsPerDelivery float64 `json:"allocs_per_delivery"`
+	BytesPerDelivery  float64 `json:"bytes_per_delivery"`
+	// BytesPerPhone is the live-heap cost of building the fleet (post-GC
+	// HeapAlloc delta across world construction, summed over worker
+	// processes) divided by Phones: the per-device memory footprint the
+	// 100k-phone diet is budgeted against.
+	BytesPerPhone float64  `json:"fleet_bytes_per_phone"`
+	LogSHA256     string   `json:"log_sha256"`
+	Log           []string `json:"-"`
+}
+
+func fleetPhoneName(i int) string     { return fmt.Sprintf("phone%04d", i) }
+func fleetCollectorName(i int) string { return fmt.Sprintf("collector%02d", i) }
+
+// fleetEntitySeed derives a per-entity RNG seed from the world seed, so an
+// entity's fault schedule depends only on its own name and traffic — never
+// on which shard or process it landed in or who shares that shard.
+func fleetEntitySeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// fleetCollectorOf assigns phone i to a collector by hashing its name:
+// shard-count-invariant (it never sees Shards) yet decorrelated from the
+// round-robin shard placement, so most phone↔collector pairs genuinely cross
+// shards.
+func fleetCollectorOf(i, collectors int) int {
+	h := fnv.New64a()
+	h.Write([]byte(fleetPhoneName(i)))
+	return int(h.Sum64() % uint64(collectors))
+}
+
+// fleetNames precomputes the naming and placement tables every part of a run
+// agrees on: entity index → name (phones first, then collectors), the
+// lexicographic rank of each name (so the compact log sorts exactly like the
+// old string log did — note "phone10000" < "phone9999"), the reverse name →
+// index map used on the delivery path, and each phone's collector. One table
+// serves the whole run; worker processes rebuild it identically from the
+// config.
+type fleetNames struct {
+	phones, collectors, shards int
+	names                      []string
+	rank                       []int32
+	index                      map[string]int32
+	collOf                     []int32
+}
+
+func newFleetNames(cfg *FleetConfig) *fleetNames {
+	fn := &fleetNames{phones: cfg.Phones, collectors: cfg.Collectors, shards: cfg.Shards}
+	fn.names = make([]string, cfg.Phones+cfg.Collectors)
+	for i := 0; i < cfg.Phones; i++ {
+		fn.names[i] = fleetPhoneName(i)
+	}
+	for c := 0; c < cfg.Collectors; c++ {
+		fn.names[cfg.Phones+c] = fleetCollectorName(c)
+	}
+	fn.index = make(map[string]int32, len(fn.names))
+	for i, s := range fn.names {
+		fn.index[s] = int32(i)
+	}
+	ord := make([]int32, len(fn.names))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	slices.SortFunc(ord, func(a, b int32) int { return strings.Compare(fn.names[a], fn.names[b]) })
+	fn.rank = make([]int32, len(fn.names))
+	for r, i := range ord {
+		fn.rank[i] = int32(r)
+	}
+	fn.collOf = make([]int32, cfg.Phones)
+	for i := range fn.collOf {
+		fn.collOf[i] = int32(fleetCollectorOf(i, cfg.Collectors))
+	}
+	return fn
+}
+
+func (fn *fleetNames) lookup(name string) int32 {
+	if i, ok := fn.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (fn *fleetNames) rankOf(i int32) int32 {
+	if i >= 0 && int(i) < len(fn.rank) {
+		return fn.rank[i]
+	}
+	return -1
+}
+
+func (fn *fleetNames) phoneShard(i int) int      { return i % fn.shards }
+func (fn *fleetNames) collShard(c int) int       { return c % fn.shards }
+func (fn *fleetNames) collIndex(c int) int32     { return int32(fn.phones + c) }
+func (fn *fleetNames) collName(c int) string     { return fn.names[fn.phones+c] }
+func (fn *fleetNames) phoneName(i int) string    { return fn.names[i] }
+func (fn *fleetNames) entityName(i int32) string { return fn.names[i] }
+
+// fleetGen is one self-rescheduling traffic stream: phone i's uploads, or
+// the command stream a collector sends phone i. The old builder scheduled
+// one AfterFunc closure per message up front — ~23 live closures plus timer
+// events per phone for the whole run. A generator is one 80-byte struct in a
+// contiguous slice holding one reusable callback that re-arms itself via the
+// pooled Schedule path, so pending traffic costs O(streams), not O(messages).
+type fleetGen struct {
+	ep          *transport.Endpoint
+	clk         *vclock.Sim
+	to          string
+	ch          string
+	first, gap  time.Duration
+	next, total int32
+	fire        func()
+}
+
+func (g *fleetGen) run() {
+	g.ep.Enqueue(g.to, g.ch, msg.Map{"n": float64(g.next)})
+	g.next++
+	if g.next < g.total {
+		g.clk.Schedule(g.gap, g.fire)
+	}
+}
+
+// fleetWorld is a built (but not yet run) fleet partition: the engine owning
+// global shards [lo, hi), the entities living on them, and the per-shard
+// compact delivery logs. The in-process Fleet builds the full range; each
+// multi-process worker builds only its own slice, so a worker's heap holds
+// only the devices it simulates.
+type fleetWorld struct {
+	cfg         *FleetConfig
+	names       *fleetNames
+	eng         *fleet.Engine
+	start       time.Time
+	lo, hi      int
+	logs        []*fleetLog  // indexed by local shard (global - lo)
+	rings       []*fleetRing // per-shard diagnostic rings; nil unless requested
+	endpoints   []*transport.Endpoint
+	gens        []fleetGen
+	ownedPhones int
+}
+
+func (w *fleetWorld) delivered() int {
+	n := 0
+	for _, l := range w.logs {
+		n += l.n
+	}
+	return n
+}
+
+func (w *fleetWorld) pending() int {
+	n := 0
+	for _, ep := range w.endpoints {
+		n += ep.Pending()
+	}
+	return n
+}
+
+// buildFleetWorld wires every entity whose shard falls in [lo, hi). The
+// construction order — collectors, then phones, then generator arming — is
+// the same global program order at any partitioning; a worker merely skips
+// entities it does not own, so the relative order of any two insertions into
+// the same shard's clock (the only order that matters for same-instant
+// tiebreaks) is partition-invariant.
+func buildFleetWorld(cfg *FleetConfig, names *fleetNames, lo, hi int, withRings bool) *fleetWorld {
+	w := &fleetWorld{cfg: cfg, names: names, lo: lo, hi: hi}
+	w.eng = fleet.NewEngine(fleet.Config{
+		Shards:    hi - lo,
+		ShardBase: lo,
+		Lookahead: cfg.Latency,
+		Remote:    hi-lo < cfg.Shards,
+		Obs:       cfg.Obs,
+	})
+	w.start = w.eng.Shard(0).Clock().Now()
+	w.logs = make([]*fleetLog, hi-lo)
+	for i := range w.logs {
+		w.logs[i] = &fleetLog{}
+	}
+	if withRings {
+		// One ring per shard: delivery handlers run on the shard's own
+		// goroutine, so rings (like logs) must never be shared across shards.
+		w.rings = make([]*fleetRing, hi-lo)
+		for i := range w.rings {
+			w.rings[i] = newFleetRing(32)
+		}
+	}
+	owned := func(g int) bool { return g >= lo && g < hi }
+
+	// build wires one entity: port → per-entity seeded fault wrapper (lean
+	// RNG: 8 bytes of state instead of math/rand's ~5 KB table) → reliable
+	// endpoint, plus its periodic flush tick and end-of-window calm, all on
+	// the pooled Schedule path.
+	build := func(g int, idx int32, tickPhase time.Duration) *transport.Endpoint {
+		name := names.entityName(idx)
+		sh := w.eng.Shard(g - lo)
+		clk := sh.Clock()
+		net := faultnet.New(clk, faultnet.Config{
+			Seed: fleetEntitySeed(cfg.Seed, name),
+			Drop: cfg.Drop, Duplicate: cfg.Duplicate, Corrupt: cfg.Corrupt,
+			MaxDelay: cfg.MaxDelay,
+			Lean:     true,
+			Obs:      cfg.Obs,
+		})
+		f := net.Wrap(sh.Port(name))
+		ep := transport.NewEndpoint(f, store.OpenMemory(), clk, transport.EndpointConfig{
+			RetryAfter: cfg.RetryAfter, BootID: "fleet-" + name, Obs: cfg.Obs,
+			TraceSeed: cfg.Seed,
+		})
+		log := w.logs[g-lo]
+		var ring *fleetRing
+		if w.rings != nil {
+			ring = w.rings[g-lo]
+		}
+		ep.OnMessage(func(from, channel string, payload msg.Value) {
+			n := int32(-1)
+			if m, ok := payload.(msg.Map); ok {
+				if f, ok := m["n"].(float64); ok {
+					n = int32(f)
+				}
+			}
+			e := fleetEntryC{
+				atMs: int32(clk.Now().Sub(w.start) / time.Millisecond),
+				recv: idx, send: names.lookup(from),
+				n: n, ch: fleetChanCode(channel),
+			}
+			log.add(e)
+			if ring != nil {
+				ring.add(e)
+			}
+		})
+		var tick func()
+		tick = func() {
+			clk.Schedule(cfg.Step, tick)
+			ep.Flush()
+		}
+		clk.Schedule(tickPhase, tick)
+		clk.Schedule(cfg.Window, net.Calm)
+		w.endpoints = append(w.endpoints, ep)
+		return ep
+	}
+
+	collectors := make([]*transport.Endpoint, cfg.Collectors)
+	for c := 0; c < cfg.Collectors; c++ {
+		if owned(names.collShard(c)) {
+			collectors[c] = build(names.collShard(c), names.collIndex(c),
+				cfg.Step*time.Duration(1+c%16)/16)
+		}
+	}
+
+	ng := 0
+	for i := 0; i < cfg.Phones; i++ {
+		if owned(names.phoneShard(i)) {
+			ng++
+		}
+		if owned(names.collShard(int(names.collOf[i]))) {
+			ng++
+		}
+	}
+	w.gens = make([]fleetGen, 0, ng)
+	msgGap := cfg.Window / time.Duration(cfg.MessagesPerPhone)
+	cmdGap := cfg.Window / time.Duration(cfg.CommandsPerPhone)
+	for i := 0; i < cfg.Phones; i++ {
+		ci := int(names.collOf[i])
+		if owned(names.phoneShard(i)) {
+			w.ownedPhones++
+			ep := build(names.phoneShard(i), int32(i), cfg.Step*time.Duration(1+i%64)/64)
+			// Stagger each phone inside the per-message slot by a hash of its
+			// index — same spread at any shard count.
+			phase := time.Duration(int64(i)*7919%997) * msgGap / 997
+			w.gens = append(w.gens, fleetGen{
+				ep: ep, clk: w.eng.Shard(names.phoneShard(i) - lo).Clock(),
+				to: names.collName(ci), ch: "upload",
+				first: phase, gap: msgGap, total: int32(cfg.MessagesPerPhone),
+			})
+		}
+		if owned(names.collShard(ci)) {
+			cphase := time.Duration(int64(i)*104729%997) * cmdGap / 997
+			w.gens = append(w.gens, fleetGen{
+				ep: collectors[ci], clk: w.eng.Shard(names.collShard(ci) - lo).Clock(),
+				to: names.phoneName(i), ch: "cmd",
+				first: cphase, gap: cmdGap, total: int32(cfg.CommandsPerPhone),
+			})
+		}
+	}
+	// Arm the generators only after the slice stopped growing: fire closures
+	// hold pointers into it.
+	for k := range w.gens {
+		g := &w.gens[k]
+		g.fire = g.run
+		g.clk.Schedule(g.first, g.fire)
+	}
+	return w
+}
+
+// Fleet runs the sharded parallel fleet scenario in this process. See
+// FleetConfig for the knobs; zero-valued fields take the documented defaults.
+// For a multi-process split, see FleetMultiproc.
+func Fleet(cfg FleetConfig) FleetResult {
+	fleetNormalize(&cfg)
 	if cfg.Obs != nil {
 		// Same contract as the chaos world: alert evaluation happens at
 		// deterministic simulated instants (epoch barriers below), and
@@ -180,180 +468,51 @@ func Fleet(cfg FleetConfig) FleetResult {
 		alerts.SetDeterministic(true)
 		alerts.EnsureDefaultRules()
 	}
-	eng := fleet.NewEngine(fleet.Config{
-		Shards:    cfg.Shards,
-		Lookahead: cfg.Latency,
-		Obs:       cfg.Obs,
-	})
-	start := eng.Shard(0).Clock().Now()
-	logs := make([][]fleetEntry, eng.Shards())
-	var endpoints []*transport.Endpoint
-
-	// record returns a delivery handler appending to the receiver shard's
-	// local log — shard workers never touch each other's slices.
-	record := func(shard int, receiver string) func(from, channel string, payload msg.Value) {
-		clk := eng.Shard(shard).Clock()
-		return func(from, channel string, payload msg.Value) {
-			n := -1
-			if m, ok := payload.(msg.Map); ok {
-				if f, ok := m["n"].(float64); ok {
-					n = int(f)
-				}
-			}
-			logs[shard] = append(logs[shard], fleetEntry{
-				at: clk.Now(), receiver: receiver, sender: from, channel: channel, n: n,
-			})
-		}
-	}
-
-	// build wires one entity: port → per-entity seeded fault wrapper →
-	// reliable endpoint, plus its periodic flush tick and end-of-window calm.
-	build := func(shard int, name string, tickPhase time.Duration) *transport.Endpoint {
-		sh := eng.Shard(shard)
-		net := faultnet.New(sh.Clock(), faultnet.Config{
-			Seed: fleetEntitySeed(cfg.Seed, name),
-			Drop: cfg.Drop, Duplicate: cfg.Duplicate, Corrupt: cfg.Corrupt,
-			MaxDelay: cfg.MaxDelay,
-			Obs:      cfg.Obs,
-		})
-		f := net.Wrap(sh.Port(name))
-		ep := transport.NewEndpoint(f, store.OpenMemory(), sh.Clock(), transport.EndpointConfig{
-			RetryAfter: cfg.RetryAfter, BootID: "fleet-" + name, Obs: cfg.Obs,
-			TraceSeed: cfg.Seed,
-		})
-		ep.OnMessage(record(shard, name))
-		var tick func()
-		tick = func() {
-			sh.Clock().AfterFunc(cfg.Step, tick)
-			ep.Flush()
-		}
-		sh.Clock().AfterFunc(tickPhase, tick)
-		sh.Clock().AfterFunc(cfg.Window, net.Calm)
-		endpoints = append(endpoints, ep)
-		return ep
-	}
-
-	collectors := make([]*transport.Endpoint, cfg.Collectors)
-	for c := 0; c < cfg.Collectors; c++ {
-		collectors[c] = build(c%cfg.Shards, fleetCollectorName(c),
-			cfg.Step*time.Duration(1+c%16)/16)
-	}
-	msgGap := cfg.Window / time.Duration(cfg.MessagesPerPhone)
-	cmdGap := cfg.Window / time.Duration(cfg.CommandsPerPhone)
-	for i := 0; i < cfg.Phones; i++ {
-		name := fleetPhoneName(i)
-		shard := i % cfg.Shards
-		ci := fleetCollectorOf(i, cfg.Collectors)
-		coll := fleetCollectorName(ci)
-		ep := build(shard, name, cfg.Step*time.Duration(1+i%64)/64)
-		clk := eng.Shard(shard).Clock()
-		// Stagger each phone inside the per-message slot by a hash of its
-		// index — same spread at any shard count.
-		phase := time.Duration(int64(i)*7919%997) * msgGap / 997
-		for j := 0; j < cfg.MessagesPerPhone; j++ {
-			j := j
-			clk.AfterFunc(msgGap*time.Duration(j)+phase, func() {
-				ep.Enqueue(coll, "upload", msg.Map{"n": float64(j)})
-			})
-		}
-		cep := collectors[ci]
-		cclk := eng.Shard(ci % cfg.Shards).Clock()
-		cphase := time.Duration(int64(i)*104729%997) * cmdGap / 997
-		for j := 0; j < cfg.CommandsPerPhone; j++ {
-			j := j
-			cclk.AfterFunc(cmdGap*time.Duration(j)+cphase, func() {
-				cep.Enqueue(name, "cmd", msg.Map{"n": float64(j)})
-			})
-		}
-	}
+	heap0 := obs.HeapLiveBytes()
+	names := newFleetNames(&cfg)
+	w := buildFleetWorld(&cfg, names, 0, cfg.Shards, false)
+	buildBytes := heapDelta(heap0)
 
 	expected := cfg.Phones * (cfg.MessagesPerPhone + cfg.CommandsPerPhone)
 	var memBefore, memAfter runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
+	cpu0 := cpuSeconds()
 	wall0 := time.Now()
 	// Health sampling rides the epoch barrier: the done callback runs with
 	// every shard worker parked, so counter totals are identical across runs
 	// and shard counts. Per-epoch sampling would be wasteful (and the engine
 	// runs thousands of epochs), so sample on a coarse simulated cadence.
 	const obsEvery = 30 * time.Second
-	nextObs := start.Add(obsEvery)
-	stats := eng.Run(cfg.Window+cfg.DrainLimit, func(now time.Time) bool {
-		delivered := 0
-		for _, l := range logs {
-			delivered += len(l)
-		}
+	nextObs := w.start.Add(obsEvery)
+	stats := w.eng.Run(cfg.Window+cfg.DrainLimit, func(now time.Time) bool {
+		delivered := w.delivered()
 		if cfg.Obs != nil && !now.Before(nextObs) {
-			pending := 0
-			for _, ep := range endpoints {
-				pending += ep.Pending()
-			}
-			cfg.Obs.Gauge("outbox_pending").Set(float64(pending))
+			cfg.Obs.Gauge("outbox_pending").Set(float64(w.pending()))
 			cfg.Obs.Sample(now, "fleet")
 			for !now.Before(nextObs) {
 				nextObs = nextObs.Add(obsEvery)
 			}
 		}
-		if delivered < expected {
-			return false
-		}
-		for _, ep := range endpoints {
-			if ep.Pending() > 0 {
-				return false
-			}
-		}
-		return true
+		return delivered >= expected && w.pending() == 0
 	})
 	wall := time.Since(wall0)
+	cpu := cpuSeconds() - cpu0
 	runtime.ReadMemStats(&memAfter)
 
-	undrained := 0
-	for _, ep := range endpoints {
-		undrained += ep.Pending()
-	}
-	var entries []fleetEntry
-	for _, l := range logs {
-		entries = append(entries, l...)
-	}
-	// Audit on arrival order (each receiver's stream arrives on one shard, so
-	// concatenation preserves per-stream FIFO order) before the content sort
-	// below erases it.
-	lost, dup, ooo := auditFleetLog(entries, cfg)
-	// Content sort: time, then receiver/sender/channel/payload. The delivery
-	// path guarantees exactly-once per stream, so the key is unique and the
-	// resulting log is independent of shard layout and scheduling.
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
-		if !a.at.Equal(b.at) {
-			return a.at.Before(b.at)
-		}
-		if a.receiver != b.receiver {
-			return a.receiver < b.receiver
-		}
-		if a.sender != b.sender {
-			return a.sender < b.sender
-		}
-		if a.channel != b.channel {
-			return a.channel < b.channel
-		}
-		return a.n < b.n
-	})
-	log := make([]string, len(entries))
-	for i, en := range entries {
-		log[i] = fmt.Sprintf("t=%d %s <- %s %s %d",
-			en.at.Sub(start)/time.Millisecond, en.receiver, en.sender, en.channel, en.n)
-	}
-
+	seal := fleetSealLog(&cfg, names, w.logs, cfg.KeepLog)
 	res := FleetResult{
 		Seed: cfg.Seed, Phones: cfg.Phones, Collectors: cfg.Collectors,
-		Shards: cfg.Shards, Expected: expected, Delivered: len(entries),
-		Undrained: undrained,
+		Shards: cfg.Shards, Procs: 1,
+		Expected: expected, Delivered: seal.delivered,
+		Lost: seal.lost, Duplicated: seal.dup, OutOfOrder: seal.ooo,
+		Undrained: w.pending(),
 		Epochs:    stats.Epochs, Events: stats.Events,
 		FabricMessages: stats.Fabric, CrossShard: stats.CrossShard,
-		Log: log,
+		LogSHA256: seal.sha, Log: seal.log,
 	}
-	res.Lost, res.Duplicated, res.OutOfOrder = lost, dup, ooo
-	res.SimSeconds = eng.Shard(0).Clock().Now().Sub(start).Seconds()
+	res.SimSeconds = w.eng.Shard(0).Clock().Now().Sub(w.start).Seconds()
 	res.WallSeconds = wall.Seconds()
+	res.CPUSeconds = cpu
 	if res.WallSeconds > 0 {
 		res.EventsPerSec = float64(stats.Events) / res.WallSeconds
 		res.DeliveriesPerSec = float64(res.Delivered) / res.WallSeconds
@@ -362,44 +521,20 @@ func Fleet(cfg FleetConfig) FleetResult {
 		res.AllocsPerDelivery = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Delivered)
 		res.BytesPerDelivery = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Delivered)
 	}
-	sum := sha256.Sum256([]byte(strings.Join(log, "\n")))
-	res.LogSHA256 = hex.EncodeToString(sum[:])
+	res.BytesPerPhone = float64(buildBytes) / float64(cfg.Phones)
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge("fleet_build_heap_bytes").Set(float64(buildBytes))
+		cfg.Obs.Gauge("fleet_bytes_per_phone").Set(res.BytesPerPhone)
+	}
 	return res
 }
 
-// auditFleetLog checks every (receiver, sender, channel) stream for
-// exactly-once FIFO delivery of 0..n-1, mirroring the chaos audit.
-func auditFleetLog(entries []fleetEntry, cfg FleetConfig) (lost, dup, ooo int) {
-	type stream struct{ receiver, sender, channel string }
-	got := make(map[stream][]int)
-	order := make(map[stream][]int) // arrival order, pre-sort is lost; rebuild per at
-	for _, en := range entries {
-		k := stream{en.receiver, en.sender, en.channel}
-		got[k] = append(got[k], en.n)
-		order[k] = append(order[k], en.n)
+// heapDelta returns the live-heap growth since the before measurement,
+// clamped at zero (a collection can shrink unrelated memory in between).
+func heapDelta(before uint64) uint64 {
+	after := obs.HeapLiveBytes()
+	if after < before {
+		return 0
 	}
-	audit := func(k stream, want int) {
-		counts := make(map[int]int)
-		for _, n := range got[k] {
-			counts[n]++
-		}
-		for n := 0; n < want; n++ {
-			switch c := counts[n]; {
-			case c == 0:
-				lost++
-			case c > 1:
-				dup += c - 1
-			}
-		}
-		if !sort.IntsAreSorted(order[k]) {
-			ooo++
-		}
-	}
-	for i := 0; i < cfg.Phones; i++ {
-		phone := fleetPhoneName(i)
-		coll := fleetCollectorName(fleetCollectorOf(i, cfg.Collectors))
-		audit(stream{coll, phone, "upload"}, cfg.MessagesPerPhone)
-		audit(stream{phone, coll, "cmd"}, cfg.CommandsPerPhone)
-	}
-	return lost, dup, ooo
+	return after - before
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package experiments
+
+// cpuSeconds is unavailable off unix; results report 0, which consumers
+// treat as "not measured".
+func cpuSeconds() float64 { return 0 }

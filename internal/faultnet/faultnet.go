@@ -69,6 +69,13 @@ type Config struct {
 	// MaxDelay adds uniform extra latency in [0, MaxDelay] to every payload;
 	// unequal delays reorder deliveries. 0 disables jitter.
 	MaxDelay time.Duration
+	// Lean draws faults from a compact splitmix64 source (8 bytes of state)
+	// instead of math/rand's default source (~5 KB of lagged-Fibonacci table
+	// per Net). The fleet experiment creates one Net per simulated phone, so
+	// at 100k phones the default source alone would cost ~500 MB. The stream
+	// is equally deterministic but DIFFERENT from the default source for the
+	// same seed, so flipping this flag changes any pinned fault schedule.
+	Lean bool
 	// Obs, when non-nil, receives the fault counters
 	// (faultnet_*_total) so chaos runs are observable.
 	Obs *obs.Registry
@@ -111,10 +118,14 @@ type Net struct {
 
 // New returns a fault domain on the given clock.
 func New(clk vclock.Clock, cfg Config) *Net {
+	src := rand.NewSource(cfg.Seed)
+	if cfg.Lean {
+		src = LeanSource(cfg.Seed)
+	}
 	n := &Net{
 		clk:     clk,
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
 		blocked: make(map[string]map[string]bool),
 	}
 	if reg := cfg.Obs; reg != nil {

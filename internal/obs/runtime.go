@@ -21,6 +21,17 @@ import (
 // default barrier_stall-style rules that could read such gauges are marked
 // RealTime so even a misconfigured wiring cannot leak nondeterminism into a
 // seeded alert log. The returned stop removes the hook.
+// HeapLiveBytes forces a collection and returns MemStats.HeapAlloc: the
+// bytes still reachable after GC. Two calls bracketing a construction phase
+// give that phase's live-memory footprint — the measurement behind the
+// fleet's bytes-per-phone figure — independent of transient garbage.
+func HeapLiveBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
 func StartRuntimeSampler(r *Registry) (stop func()) {
 	if r == nil {
 		return func() {}

@@ -1,0 +1,16 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+
+	"pogo/internal/experiments"
+)
+
+// TestMain installs the fleet worker hook: scenarios with `procs=N` fork this
+// test binary as shard workers, and a forked copy must serve the worker
+// protocol instead of running the test suite.
+func TestMain(m *testing.M) {
+	experiments.MaybeFleetWorker()
+	os.Exit(m.Run())
+}

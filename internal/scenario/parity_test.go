@@ -85,7 +85,9 @@ func TestFleetTxtarParity(t *testing.T) {
 	}
 	var bench struct {
 		Runs []struct {
+			Phones    int    `json:"phones"`
 			Shards    int    `json:"shards"`
+			Procs     int    `json:"procs"`
 			LogSHA256 string `json:"log_sha256"`
 		} `json:"runs"`
 	}
@@ -96,14 +98,22 @@ func TestFleetTxtarParity(t *testing.T) {
 	if err := json.Unmarshal(data, &bench); err != nil {
 		t.Fatal(err)
 	}
-	if len(bench.Runs) == 0 {
-		t.Fatal("BENCH_fleet.json has no runs")
-	}
+	// The baseline also carries -fleet-scale rows at other fleet sizes; the
+	// txtar pin covers the canonical 2000-phone workload at every
+	// (shards x procs) split.
+	matched := 0
 	for _, run := range bench.Runs {
-		if run.LogSHA256 != pinned[0] {
-			t.Errorf("fleet.txtar pins %s, BENCH_fleet.json shards=%d records %s",
-				pinned[0], run.Shards, run.LogSHA256)
+		if run.Phones != 2000 {
+			continue
 		}
+		matched++
+		if run.LogSHA256 != pinned[0] {
+			t.Errorf("fleet.txtar pins %s, BENCH_fleet.json shards=%d procs=%d records %s",
+				pinned[0], run.Shards, run.Procs, run.LogSHA256)
+		}
+	}
+	if matched == 0 {
+		t.Fatal("BENCH_fleet.json has no 2000-phone runs")
 	}
 
 	small := experiments.Fleet(experiments.FleetScenario(7, 120, 1))

@@ -19,7 +19,7 @@ func TestScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const minScenarios = 11
+	const minScenarios = 12
 	if len(files) < minScenarios {
 		t.Fatalf("scenario library has %d archives, want at least %d", len(files), minScenarios)
 	}

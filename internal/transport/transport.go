@@ -253,12 +253,20 @@ type endpointObs struct {
 	deviceMeter *obs.Meter
 }
 
+// noopEndpointObs is the shared instrument bundle for endpoints without a
+// registry: every instrument is nil (all methods are nil-safe no-ops) and the
+// node/entity fields are never read on the no-registry path — trace IDs are
+// derived from the messenger's LocalID, and the ledger guard in chargeChannel
+// fires before entity is touched. Sharing one struct instead of allocating
+// ~20 pointers per endpoint matters when an experiment builds 100k of them.
+var noopEndpointObs = &endpointObs{}
+
 func newEndpointObs(reg *obs.Registry, node, entity string) *endpointObs {
 	if entity == "" {
 		entity = node
 	}
 	if reg == nil {
-		return &endpointObs{node: node, entity: entity}
+		return noopEndpointObs
 	}
 	l := obs.L("node", node)
 	return &endpointObs{
@@ -380,10 +388,10 @@ type Endpoint struct {
 	peers      map[string]*peerState
 	inflight   map[uint64]sendState
 	nextSeq    map[string]map[string]uint64 // dest → channel → next FIFO sequence
-	traceOf    map[uint64]obs.TraceID     // outbox id → inherited (relayed) trace; roots are derived
-	dirty      map[string]map[string]bool // dest → channels whose floor moved by expiry
-	retryTimer vclock.Timer               // pending self-driven retransmission, if any
-	retryFn    func()                     // the timer's callback, allocated once
+	traceOf    map[uint64]obs.TraceID       // outbox id → inherited (relayed) trace; roots are derived
+	dirty      map[string]map[string]bool   // dest → channels whose floor moved by expiry
+	retryTimer vclock.Timer                 // pending self-driven retransmission, if any
+	retryFn    func()                       // the timer's callback, allocated once
 	stats      Stats
 
 	// flushMu serializes flush so its recycled scratch (fsc) has a single
@@ -437,6 +445,9 @@ func sortFloorPairs(ch []string, seq []uint64) {
 // makes the hot-path read (e.nextSeq[to][channel], nil-safe) allocation-free
 // where a concatenated "to\x00channel" key would cost a string per enqueue.
 func (e *Endpoint) setSeqLocked(to, channel string, next uint64) {
+	if e.nextSeq == nil {
+		e.nextSeq = make(map[string]map[string]uint64)
+	}
 	inner := e.nextSeq[to]
 	if inner == nil {
 		inner = make(map[string]uint64)
@@ -459,17 +470,16 @@ func NewEndpoint(m Messenger, box *store.Outbox, clk vclock.Clock, cfg EndpointC
 	if cfg.BootID == "" {
 		cfg.BootID = strconv.FormatInt(clk.Now().UnixNano(), 36)
 	}
+	// The five bookkeeping maps are allocated lazily at their write sites:
+	// reads of a nil map are legal, and a fleet-scale experiment holds
+	// hundreds of thousands of endpoints whose phones never receive, never
+	// relay traces, and never purge — their maps would be pure overhead.
 	e := &Endpoint{
-		m:        m,
-		clk:      clk,
-		box:      box,
-		cfg:      cfg,
-		peers:    make(map[string]*peerState),
-		inflight: make(map[uint64]sendState),
-		nextSeq:  make(map[string]map[string]uint64),
-		traceOf:  make(map[uint64]obs.TraceID),
-		dirty:    make(map[string]map[string]bool),
-		obs:      newEndpointObs(cfg.Obs, m.LocalID(), cfg.Entity),
+		m:   m,
+		clk: clk,
+		box: box,
+		cfg: cfg,
+		obs: newEndpointObs(cfg.Obs, m.LocalID(), cfg.Entity),
 	}
 	e.retryFn = func() { e.flush(true) }
 	// Recover the per-channel sequence counters from the replayed outbox so
@@ -513,7 +523,9 @@ func (e *Endpoint) traceForLocked(id uint64) obs.TraceID {
 	if t, ok := e.traceOf[id]; ok {
 		return t
 	}
-	return obs.NewTraceID(e.cfg.TraceSeed, e.obs.node, id)
+	// The messenger's LocalID, not e.obs.node: the no-registry path shares
+	// one blank endpointObs across all endpoints.
+	return obs.NewTraceID(e.cfg.TraceSeed, e.m.LocalID(), id)
 }
 
 // Stats returns a snapshot of the endpoint's counters.
@@ -609,6 +621,9 @@ func (e *Endpoint) EnqueueTraced(to, channel string, payload msg.Value, trace ob
 	e.setSeqLocked(to, channel, seq+1)
 	e.stats.MessagesEnqueued++
 	if trace != 0 {
+		if e.traceOf == nil {
+			e.traceOf = make(map[uint64]obs.TraceID)
+		}
 		e.traceOf[id] = trace
 	} else {
 		trace = e.traceForLocked(id)
@@ -679,6 +694,9 @@ func (e *Endpoint) flush(retryOnly bool) int {
 		for i, entry := range dropped {
 			// The purge moved the channel's floor; mark it so the next
 			// envelope tells the receiver not to wait for the gap.
+			if e.dirty == nil {
+				e.dirty = make(map[string]map[string]bool)
+			}
 			if e.dirty[entry.To] == nil {
 				e.dirty[entry.To] = make(map[string]bool)
 			}
@@ -912,6 +930,9 @@ func (e *Endpoint) finishDest(now time.Time, sc *flushScratch, dm destMeta, wire
 	}
 	attempts := sc.attempts[:len(entries)]
 	e.mu.Lock()
+	if e.inflight == nil {
+		e.inflight = make(map[uint64]sendState)
+	}
 	for i := range entries {
 		st := e.inflight[entries[i].ID]
 		if st.attempts > 0 {
@@ -1004,6 +1025,9 @@ func (e *Endpoint) receive(from string, payload []byte) {
 			boot:  env.Boot,
 			seen:  make(map[uint64]bool),
 			chans: make(map[string]*chanOrder),
+		}
+		if e.peers == nil {
+			e.peers = make(map[string]*peerState)
 		}
 		e.peers[sender] = ps
 	}

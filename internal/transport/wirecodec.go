@@ -405,3 +405,63 @@ func readUvStr(b []byte) (string, []byte, error) {
 	}
 	return msg.Intern(rest[:n]), rest[n:], nil
 }
+
+// WireItem is one payload inside an exported wire batch: the flattened,
+// public shape of a binary-envelope batch item. The fleet's multi-process
+// coordinator reuses the envelope codec to ship staged cross-shard traffic
+// between worker processes, so inter-process bytes stay on the same audited
+// 0xB1 format as inter-device bytes.
+type WireItem struct {
+	ID      uint64 // sender-relative ordering key (the fleet ships deliver-at offsets here)
+	Seq     uint64
+	Channel string // destination routing key in fleet IPC usage
+	Body    []byte
+}
+
+// AppendWireBatch appends one CRC-framed binary (0xB1) envelope from `from`
+// carrying items to dst and returns the extended slice. The bytes are
+// exactly what the endpoint flush path would emit for an untraced batch with
+// no acks, floors, or boot ID, so any envelope decoder can parse them.
+func AppendWireBatch(dst []byte, from string, items []WireItem) []byte {
+	off := len(dst)
+	dst = append(dst, frameHeader[:]...)
+	dst = append(dst, envMagic)
+	dst = appendUvStr(dst, from)
+	dst = appendUvStr(dst, "") // boot: unused in batch-only envelopes
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for i := range items {
+		it := &items[i]
+		dst = binary.AppendUvarint(dst, it.ID)
+		dst = binary.AppendUvarint(dst, it.Seq)
+		dst = appendUvStr(dst, it.Channel)
+		dst = binary.AppendUvarint(dst, uint64(len(it.Body)))
+		dst = append(dst, it.Body...)
+	}
+	dst = binary.AppendUvarint(dst, 0) // acks
+	dst = binary.AppendUvarint(dst, 0) // floors
+	frameInto(dst[off:])
+	return dst
+}
+
+// DecodeWireBatch parses one framed envelope produced by AppendWireBatch (or
+// any endpoint). Items are appended to scratch (pass a recycled slice to
+// amortize); their Body slices alias frame, which the caller must keep alive
+// while items are in use. Channel strings are interned.
+func DecodeWireBatch(frame []byte, scratch []WireItem) (from string, items []WireItem, err error) {
+	body, err := unframe(frame)
+	if err != nil {
+		return "", nil, err
+	}
+	sc := envScratchPool.Get().(*envScratch)
+	defer envScratchPool.Put(sc)
+	env, err := decodeEnvelopeInto(body, sc)
+	if err != nil {
+		return "", nil, err
+	}
+	items = scratch[:0]
+	for i := range env.Batch {
+		it := &env.Batch[i]
+		items = append(items, WireItem{ID: it.ID, Seq: it.Seq, Channel: it.Channel, Body: it.Body})
+	}
+	return env.From, items, nil
+}

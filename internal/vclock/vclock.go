@@ -62,6 +62,12 @@ type Sim struct {
 	now   time.Time
 	seq   uint64
 	queue eventQueue
+	// free recycles events created by Schedule. Those events never hand out
+	// a Timer, so once popDue removes one from the heap no reference to it
+	// survives and the struct can be reused. AfterFunc events are excluded:
+	// their simTimer may call Stop at any later point, which must keep
+	// observing the original event, not a recycled stranger.
+	free []*event
 }
 
 var _ Clock = (*Sim)(nil)
@@ -98,16 +104,26 @@ func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
 }
 
 // Schedule is AfterFunc for callers that never cancel: it enqueues the
-// callback without materializing a Timer handle, which saves one allocation
-// per call on the simulated clock. Ordering is identical to AfterFunc — the
-// event joins the same (time, insertion) queue.
+// callback without materializing a Timer handle. Ordering is identical to
+// AfterFunc — the event joins the same (time, insertion) queue — but the
+// event structs themselves are recycled through a free list, so steady-state
+// self-rescheduling workloads (a fleet's flush ticks and traffic generators)
+// schedule with zero allocations.
 func (s *Sim) Schedule(d time.Duration, f func()) {
 	if d < 0 {
 		d = 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ev := &event{at: s.now.Add(d), seq: s.seq, fn: f}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = event{at: s.now.Add(d), seq: s.seq, fn: f, pooled: true}
+	} else {
+		ev = &event{at: s.now.Add(d), seq: s.seq, fn: f, pooled: true}
+	}
 	s.seq++
 	heap.Push(&s.queue, ev)
 }
@@ -231,7 +247,15 @@ func (s *Sim) popDue(deadline time.Time) (func(), bool) {
 		if ev.at.After(s.now) {
 			s.now = ev.at
 		}
-		return ev.fn, true
+		fn := ev.fn
+		if ev.pooled {
+			// No Timer handle exists for a Schedule event, so after this pop
+			// nothing can reach it again: clear the callback reference and
+			// recycle the struct.
+			ev.fn = nil
+			s.free = append(s.free, ev)
+		}
+		return fn, true
 	}
 	return nil, false
 }
@@ -242,6 +266,7 @@ type event struct {
 	fn      func()
 	stopped bool
 	fired   bool // left the heap for execution; Stop can no longer prevent it
+	pooled  bool // created by Schedule (no Timer handle); recycled after firing
 	index   int
 }
 

@@ -272,3 +272,69 @@ func TestPropertyFiringOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScheduleRecyclesEvents(t *testing.T) {
+	s := NewSim()
+	// A self-rescheduling chain reuses one pooled event: after warmup, each
+	// Schedule should pop the event the previous firing just recycled.
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		s.Schedule(time.Second, tick)
+	}
+	s.Schedule(time.Second, tick)
+	allocs := testing.AllocsPerRun(10, func() {
+		before := fired
+		s.Advance(100 * time.Second)
+		if fired <= before {
+			t.Fatal("no callbacks ran")
+		}
+	})
+	// Each Advance fires ~100 pooled events; the budget tolerates the heap
+	// slice occasionally growing but catches a per-event allocation.
+	if allocs > 5 {
+		t.Fatalf("Advance allocated %.0f times per run; pooled Schedule events should not allocate per event", allocs)
+	}
+	// A fired event with no rescheduling stays on the free list.
+	s.Schedule(time.Second, func() {})
+	s.Advance(time.Second)
+	if len(s.free) == 0 {
+		t.Fatal("free list empty after a pooled event fired")
+	}
+}
+
+func TestScheduleOrderingMatchesAfterFunc(t *testing.T) {
+	// Pooled and unpooled events share one (time, insertion-seq) queue: a
+	// mixed schedule must fire in exact insertion order at the same instant.
+	s := NewSim()
+	var got []int
+	s.Schedule(time.Second, func() { got = append(got, 0) })
+	s.AfterFunc(time.Second, func() { got = append(got, 1) })
+	s.Schedule(time.Second, func() { got = append(got, 2) })
+	s.AfterFunc(time.Second, func() { got = append(got, 3) })
+	s.Advance(time.Second)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("fired order %v, want [0 1 2 3]", got)
+	}
+}
+
+func TestAfterFuncStopUnaffectedByPooling(t *testing.T) {
+	// An AfterFunc event must never be recycled: its Timer can Stop (or
+	// observe firing) long after pooled neighbours churned through the free
+	// list.
+	s := NewSim()
+	ran := false
+	tm := s.AfterFunc(10*time.Second, func() { ran = true })
+	for i := 0; i < 100; i++ {
+		s.Schedule(time.Second, func() {})
+	}
+	s.Advance(5 * time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop before due time should report true")
+	}
+	s.Advance(10 * time.Second)
+	if ran {
+		t.Fatal("stopped AfterFunc ran")
+	}
+}
